@@ -1,0 +1,177 @@
+//! Storage-bit accounting and CACTI-lite area model.
+//!
+//! The paper derives area numbers from CACTI 6.5 at 40 nm with a 48-bit
+//! virtual address space (Section 4.2). CACTI itself is a large C++ tool;
+//! this crate replaces it with a power-law fit through the paper's own
+//! published (size, area) points, which is exact where it matters — the
+//! relative-area axis of Figures 2 and 6:
+//!
+//! | structure | size | paper mm² | model mm² |
+//! |---|---|---|---|
+//! | 1K-entry BTB + victim buffer | 9.9 KB | 0.08 | 0.080 |
+//! | 16K-entry BTB | 140 KB | 0.60 | 0.599 |
+//! | AirBTB | 10.2 KB | 0.08 | 0.082 |
+//! | SHIFT index (LLC tag ext.) | ~240 KB | 0.96 total | ~0.93 total |
+//!
+//! # Example
+//!
+//! ```
+//! use confluence_area::AreaModel;
+//! use confluence_types::StorageProfile;
+//!
+//! let model = AreaModel::paper();
+//! let baseline = StorageProfile::empty().with_array("BTB", 9_900 * 8);
+//! let rel = model.relative_area(&baseline, &baseline);
+//! assert!((rel - 1.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+use confluence_types::StorageProfile;
+
+/// Power-law coefficient `a` in `mm² = a · KiB^b`, fitted through the
+/// paper's (9.9 KB, 0.08 mm²) and (140 KB, 0.6 mm²) CACTI points.
+pub const AREA_COEFF: f64 = 0.013_97;
+/// Power-law exponent `b` (sub-linear: big arrays are denser per bit).
+pub const AREA_EXP: f64 = 0.760_6;
+
+/// ARM Cortex-A72 core area at 40 nm (paper Section 2.3: 7.2 mm²).
+pub const CORE_MM2: f64 = 7.2;
+
+/// Area of a dedicated SRAM array of the given size, in mm² at 40 nm.
+///
+/// Uses the calibrated power law; zero-sized arrays cost nothing.
+pub fn sram_mm2(kib: f64) -> f64 {
+    if kib <= 0.0 {
+        0.0
+    } else {
+        AREA_COEFF * kib.powf(AREA_EXP)
+    }
+}
+
+/// Area model for a CMP of `cores` cores of `core_mm2` each.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaModel {
+    core_mm2: f64,
+    cores: usize,
+}
+
+impl AreaModel {
+    /// The paper's configuration: 16 Cortex-A72-class cores at 7.2 mm².
+    pub fn paper() -> Self {
+        AreaModel { core_mm2: CORE_MM2, cores: 16 }
+    }
+
+    /// Creates a model with explicit core area and count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or `core_mm2` is not positive.
+    pub fn new(core_mm2: f64, cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(core_mm2 > 0.0, "core area must be positive");
+        AreaModel { core_mm2, cores }
+    }
+
+    /// Core area in mm².
+    pub fn core_mm2(&self) -> f64 {
+        self.core_mm2
+    }
+
+    /// Number of cores sharing virtualized structures.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Per-core area of a frontend storage profile, in mm².
+    ///
+    /// Dedicated arrays are modelled individually (each pays its own
+    /// peripheral overhead, like CACTI does). LLC-*resident* metadata is
+    /// free in area — it reuses existing LLC capacity (its cost shows up
+    /// as reduced cache capacity in the performance model instead). LLC
+    /// *tag-array extensions* (SHIFT's index pointers) add real SRAM,
+    /// amortized over all cores.
+    pub fn frontend_mm2(&self, profile: &StorageProfile) -> f64 {
+        let dedicated: f64 = profile.arrays.iter().map(|a| sram_mm2(a.kib())).sum();
+        let tag_ext = sram_mm2(profile.llc_tag_extension_bytes as f64 / 1024.0);
+        dedicated + tag_ext / self.cores as f64
+    }
+
+    /// Relative per-core area of `profile` versus `baseline`, including the
+    /// core itself — the x-axis of Figures 2 and 6.
+    pub fn relative_area(&self, profile: &StorageProfile, baseline: &StorageProfile) -> f64 {
+        (self.core_mm2 + self.frontend_mm2(profile))
+            / (self.core_mm2 + self.frontend_mm2(baseline))
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_passes_through_calibration_points() {
+        assert!((sram_mm2(9.9) - 0.08).abs() < 0.005, "got {}", sram_mm2(9.9));
+        assert!((sram_mm2(140.0) - 0.60).abs() < 0.01, "got {}", sram_mm2(140.0));
+    }
+
+    #[test]
+    fn sublinear_scaling() {
+        // Doubling capacity must cost less than double the area.
+        assert!(sram_mm2(20.0) < 2.0 * sram_mm2(10.0));
+        assert!(sram_mm2(0.0) == 0.0);
+    }
+
+    #[test]
+    fn shift_index_area_matches_paper() {
+        // Paper: ~240 KB of tag-array extension = 0.96 mm² total,
+        // 0.06 mm² per core.
+        let model = AreaModel::paper();
+        let shift = StorageProfile::empty().with_llc_tag_extension(240 * 1024);
+        let per_core = model.frontend_mm2(&shift);
+        assert!((0.04..0.08).contains(&per_core), "got {per_core}");
+    }
+
+    #[test]
+    fn llc_resident_metadata_is_area_free() {
+        let model = AreaModel::paper();
+        let phantom_l2 = StorageProfile::empty().with_llc_resident(256 * 1024);
+        assert_eq!(model.frontend_mm2(&phantom_l2), 0.0);
+    }
+
+    #[test]
+    fn two_level_relative_area_is_about_8_percent() {
+        let model = AreaModel::paper();
+        let baseline = StorageProfile::empty().with_array("1K BTB", (99 * 1024 * 8) / 10);
+        let two_level = StorageProfile::empty()
+            .with_array("L1", (94 * 1024 * 8) / 10)
+            .with_array("L2", 142 * 1024 * 8);
+        let rel = model.relative_area(&two_level, &baseline);
+        assert!((1.06..1.10).contains(&rel), "got {rel}");
+    }
+
+    #[test]
+    fn confluence_relative_area_is_about_1_percent() {
+        let model = AreaModel::paper();
+        let baseline = StorageProfile::empty().with_array("1K BTB", (99 * 1024 * 8) / 10);
+        let confluence = StorageProfile::empty()
+            .with_array("AirBTB", (102 * 1024 * 8) / 10)
+            .with_llc_resident(204 * 1024)
+            .with_llc_tag_extension(240 * 1024);
+        let rel = model.relative_area(&confluence, &baseline);
+        assert!((1.005..1.02).contains(&rel), "got {rel}");
+    }
+
+    #[test]
+    fn constructor_validation() {
+        let m = AreaModel::new(5.0, 8);
+        assert_eq!(m.cores(), 8);
+        assert_eq!(m.core_mm2(), 5.0);
+    }
+}

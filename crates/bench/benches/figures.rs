@@ -1,0 +1,109 @@
+//! One benchmark per paper table/figure: each runs the corresponding
+//! experiment pipeline at reduced scale. The time measured is the cost of
+//! regenerating the result; the printed output of the full-scale versions
+//! comes from the `confluence-sim` figure binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use confluence_sim::experiments::{self, ExperimentConfig};
+use confluence_trace::{Program, Workload};
+
+fn quick_workloads() -> Vec<(Workload, Program)> {
+    // Two representative workloads keep bench time bounded.
+    ExperimentConfig::quick().workloads().into_iter().take(2).collect()
+}
+
+fn bench_fig1_btb_mpki(c: &mut Criterion) {
+    let ws = quick_workloads();
+    let cfg = ExperimentConfig::quick();
+    c.bench_function("fig1_btb_mpki_sweep", |b| {
+        b.iter(|| black_box(experiments::fig1(&ws, &cfg)))
+    });
+}
+
+fn bench_table2_branch_density(c: &mut Criterion) {
+    let ws = quick_workloads();
+    let cfg = ExperimentConfig::quick();
+    c.bench_function("table2_branch_density", |b| {
+        b.iter(|| black_box(experiments::table2(&ws, &cfg)))
+    });
+}
+
+fn bench_fig8_coverage_breakdown(c: &mut Criterion) {
+    let ws = quick_workloads();
+    let cfg = ExperimentConfig::quick();
+    c.bench_function("fig8_coverage_breakdown", |b| {
+        b.iter(|| black_box(experiments::fig8(&ws, &cfg)))
+    });
+}
+
+fn bench_fig9_coverage_compare(c: &mut Criterion) {
+    let ws = quick_workloads();
+    let cfg = ExperimentConfig::quick();
+    c.bench_function("fig9_coverage_compare", |b| {
+        b.iter(|| black_box(experiments::fig9(&ws, &cfg)))
+    });
+}
+
+fn bench_fig10_airbtb_sensitivity(c: &mut Criterion) {
+    let ws = quick_workloads();
+    let cfg = ExperimentConfig::quick();
+    c.bench_function("fig10_airbtb_sensitivity", |b| {
+        b.iter(|| black_box(experiments::fig10(&ws, &cfg)))
+    });
+}
+
+fn bench_l1i_coverage(c: &mut Criterion) {
+    let ws = quick_workloads();
+    let cfg = ExperimentConfig::quick();
+    c.bench_function("l1i_coverage_shift", |b| {
+        b.iter(|| black_box(experiments::l1i_coverage(&ws, &cfg)))
+    });
+}
+
+fn bench_area_table(c: &mut Criterion) {
+    c.bench_function("area_table_cacti_lite", |b| {
+        b.iter(|| black_box(experiments::area_table()))
+    });
+}
+
+fn bench_fig2_conventional(c: &mut Criterion) {
+    let ws: Vec<_> = quick_workloads().into_iter().take(1).collect();
+    let cfg = ExperimentConfig::quick();
+    c.bench_function("fig2_conventional_frontends", |b| {
+        b.iter(|| black_box(experiments::fig2(&ws, &cfg)))
+    });
+}
+
+fn bench_fig6_confluence(c: &mut Criterion) {
+    let ws: Vec<_> = quick_workloads().into_iter().take(1).collect();
+    let cfg = ExperimentConfig::quick();
+    c.bench_function("fig6_confluence_perf_area", |b| {
+        b.iter(|| black_box(experiments::fig6(&ws, &cfg)))
+    });
+}
+
+fn bench_fig7_btb_designs(c: &mut Criterion) {
+    let ws: Vec<_> = quick_workloads().into_iter().take(1).collect();
+    let cfg = ExperimentConfig::quick();
+    c.bench_function("fig7_btb_designs_with_shift", |b| {
+        b.iter(|| black_box(experiments::fig7(&ws, &cfg)))
+    });
+}
+
+criterion_group! {
+    name = coverage_figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1_btb_mpki, bench_table2_branch_density,
+        bench_fig8_coverage_breakdown, bench_fig9_coverage_compare,
+        bench_fig10_airbtb_sensitivity, bench_l1i_coverage, bench_area_table
+}
+
+criterion_group! {
+    name = timing_figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2_conventional, bench_fig6_confluence, bench_fig7_btb_designs
+}
+
+criterion_main!(coverage_figures, timing_figures);

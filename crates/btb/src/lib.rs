@@ -1,0 +1,42 @@
+//! Baseline branch target buffer designs evaluated against Confluence.
+//!
+//! The paper compares AirBTB (in `confluence-core`) against four BTB
+//! organizations, all implemented here behind the common [`BtbDesign`]
+//! trait:
+//!
+//! - [`ConventionalBtb`] — basic-block-oriented, set-associative, with an
+//!   optional victim buffer (the 1K-entry baseline and the 16K-entry
+//!   comparison point);
+//! - [`TwoLevelBtb`] — 1K-entry L1 backed by a dedicated 16K-entry L2 with
+//!   a 4-cycle access latency;
+//! - [`PhantomBtb`] — 1K-entry L1 backed by temporal groups virtualized in
+//!   the LLC (the state-of-the-art BTB prefetcher baseline);
+//! - [`IdealBtb`] / [`PerfectBtb`] — the upper-bound reference points.
+//!
+//! # Example
+//!
+//! ```
+//! use confluence_btb::{BtbDesign, TwoLevelBtb};
+//! use confluence_types::VAddr;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut btb = TwoLevelBtb::paper_config()?;
+//! let outcome = btb.lookup(VAddr::new(0x1000), VAddr::new(0x1008));
+//! assert!(!outcome.hit); // cold BTB
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod conventional;
+mod design;
+mod ideal;
+mod phantom;
+mod two_level;
+
+pub use conventional::ConventionalBtb;
+pub use design::{tag_bits, BtbDesign, BtbOutcome, ResolvedBranch};
+pub use ideal::{IdealBtb, PerfectBtb};
+pub use phantom::{PhantomBtb, GROUP_ENTRIES, GROUP_TABLE_LINES};
+pub use two_level::TwoLevelBtb;

@@ -1,0 +1,32 @@
+//! The paper's primary contribution: **AirBTB** and the **Confluence**
+//! unified instruction-supply frontend.
+//!
+//! Confluence's observation: the L1-I prefetcher and the BTB both need the
+//! same control-flow history, differing only in granularity (blocks vs
+//! individual branches). [`AirBtb`] bridges the gap with a block-grain BTB
+//! whose contents mirror the L1-I, and [`ConfluenceFrontend`] wires it to a
+//! SHIFT stream prefetcher so one LLC-virtualized history fills both
+//! structures ahead of the fetch stream.
+//!
+//! # Example
+//!
+//! ```
+//! use confluence_core::{AirBtb, AirBtbMode};
+//! use confluence_btb::BtbDesign;
+//!
+//! // The paper's final design point: B:3, OB:32, 10.2 KB.
+//! let btb = AirBtb::paper_config();
+//! assert_eq!(btb.mode(), AirBtbMode::Full);
+//! let kib = btb.storage().dedicated_kib();
+//! assert!((9.8..10.8).contains(&kib));
+//! ```
+
+#![warn(missing_docs)]
+
+mod airbtb;
+mod frontend;
+
+pub use airbtb::{
+    AirBtb, AirBtbMode, DEFAULT_BUNDLES, DEFAULT_BUNDLE_ENTRIES, DEFAULT_OVERFLOW_ENTRIES,
+};
+pub use frontend::ConfluenceFrontend;

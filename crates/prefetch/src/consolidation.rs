@@ -1,0 +1,147 @@
+//! Workload consolidation: one SHIFT history instance per co-scheduled
+//! workload (paper Section 3.4).
+//!
+//! "Because the shared history is maintained in the LLC rather than
+//! dedicated storage, a disparate instance of history space can be easily
+//! allocated in the LLC for each workload in the case of workload
+//! consolidation. It has been shown that multiple instances of history
+//! provide performance benefits similar to that of a single shared history,
+//! as long as there is enough LLC capacity for history instance per
+//! workload."
+
+use std::collections::HashMap;
+
+use confluence_types::StorageProfile;
+
+use crate::shift::ShiftHistory;
+
+/// A set of per-workload SHIFT history instances, allocated on demand.
+///
+/// Cores are mapped to workloads; each workload's generator core records
+/// into its own instance and all cores of that workload read from it.
+///
+/// # Example
+///
+/// ```
+/// use confluence_prefetch::ConsolidatedHistories;
+/// use confluence_types::BlockAddr;
+///
+/// let mut set = ConsolidatedHistories::new(4096);
+/// set.history_mut(0).record(BlockAddr::from_raw(10)); // workload 0
+/// set.history_mut(1).record(BlockAddr::from_raw(99)); // workload 1
+/// // Instances are isolated: workload 1 never sees workload 0's stream.
+/// assert!(set.history(1).lookup(BlockAddr::from_raw(10)).is_none());
+/// assert!(set.history(0).lookup(BlockAddr::from_raw(10)).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConsolidatedHistories {
+    instances: HashMap<u32, ShiftHistory>,
+    entries_per_instance: usize,
+}
+
+impl ConsolidatedHistories {
+    /// Creates an empty set; each instance gets `entries_per_instance`
+    /// history entries when first touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries_per_instance` is zero.
+    pub fn new(entries_per_instance: usize) -> Self {
+        assert!(entries_per_instance > 0, "history capacity must be nonzero");
+        ConsolidatedHistories { instances: HashMap::new(), entries_per_instance }
+    }
+
+    /// Read access to a workload's history (created empty if absent).
+    pub fn history(&self, workload: u32) -> &ShiftHistory {
+        // A missing instance behaves as an empty one; expose a static
+        // empty via lazy insertion in `history_mut` instead of interior
+        // mutability: callers that only read an untouched workload get a
+        // shared empty instance.
+        self.instances.get(&workload).unwrap_or_else(|| {
+            // Deterministic fallback: an empty history. We keep one per
+            // call; this path only occurs before any recording.
+            static EMPTY: std::sync::OnceLock<ShiftHistory> = std::sync::OnceLock::new();
+            EMPTY.get_or_init(|| ShiftHistory::with_capacity(1))
+        })
+    }
+
+    /// Mutable access to a workload's history, allocating it on first use.
+    pub fn history_mut(&mut self, workload: u32) -> &mut ShiftHistory {
+        let cap = self.entries_per_instance;
+        self.instances.entry(workload).or_insert_with(|| ShiftHistory::with_capacity(cap))
+    }
+
+    /// Number of live instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Aggregate storage profile: every instance occupies its own LLC
+    /// space, so consolidation multiplies the LLC-resident footprint.
+    pub fn storage(&self) -> StorageProfile {
+        self.instances
+            .values()
+            .map(ShiftHistory::storage)
+            .fold(StorageProfile::empty(), StorageProfile::merge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shift::ShiftEngine;
+    use confluence_types::BlockAddr;
+
+    fn train(h: &mut ShiftHistory, base: u64, n: u64) {
+        for i in 0..n {
+            h.record(BlockAddr::from_raw(base + i * 100));
+        }
+    }
+
+    #[test]
+    fn instances_are_isolated() {
+        let mut set = ConsolidatedHistories::new(1024);
+        train(set.history_mut(0), 1_000, 50);
+        train(set.history_mut(1), 900_000, 50);
+        assert_eq!(set.instance_count(), 2);
+        // Workload 0's stream is invisible to workload 1 and vice versa.
+        assert!(set.history(0).lookup(BlockAddr::from_raw(1_000)).is_some());
+        assert!(set.history(1).lookup(BlockAddr::from_raw(1_000)).is_none());
+        assert!(set.history(1).lookup(BlockAddr::from_raw(900_000)).is_some());
+    }
+
+    #[test]
+    fn per_instance_replay_matches_dedicated_history() {
+        // A consolidated instance must stream exactly like a dedicated one.
+        let mut dedicated = ShiftHistory::with_capacity(1024);
+        train(&mut dedicated, 5_000, 40);
+        let mut set = ConsolidatedHistories::new(1024);
+        train(set.history_mut(7), 5_000, 40);
+
+        let mut a = ShiftEngine::with_lookahead(6);
+        let mut b = ShiftEngine::with_lookahead(6);
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        a.on_access(&dedicated, BlockAddr::from_raw(5_000), true, &mut out_a);
+        b.on_access(set.history(7), BlockAddr::from_raw(5_000), true, &mut out_b);
+        assert_eq!(out_a, out_b);
+        assert!(!out_a.is_empty());
+    }
+
+    #[test]
+    fn untouched_workload_reads_as_empty() {
+        let set = ConsolidatedHistories::new(64);
+        assert!(set.history(3).is_empty());
+        assert!(set.history(3).lookup(BlockAddr::from_raw(1)).is_none());
+    }
+
+    #[test]
+    fn storage_scales_with_instance_count() {
+        let mut set = ConsolidatedHistories::new(32 * 1024);
+        let one = {
+            train(set.history_mut(0), 0, 10);
+            set.storage().llc_resident_bytes
+        };
+        train(set.history_mut(1), 0, 10);
+        assert_eq!(set.storage().llc_resident_bytes, 2 * one);
+    }
+}

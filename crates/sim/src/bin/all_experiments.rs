@@ -1,0 +1,40 @@
+//! Runs every table/figure reproduction and prints the full suite.
+//!
+//! Usage: `all_experiments [--quick] [--csv] [--markdown]`
+
+use confluence_sim::experiments::{self, ExperimentConfig};
+use confluence_sim::report::Report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let md = args.iter().any(|a| a == "--markdown");
+    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
+
+    eprintln!("generating workloads...");
+    let ws = cfg.workloads();
+
+    let emit = |r: &Report| {
+        if csv {
+            println!("{}", r.to_csv());
+        } else if md {
+            println!("{}", r.to_markdown());
+        } else {
+            println!("{}", r.to_table());
+        }
+    };
+
+    eprintln!("running functional coverage experiments...");
+    emit(&experiments::fig1(&ws, &cfg));
+    emit(&experiments::table2(&ws, &cfg));
+    emit(&experiments::fig8(&ws, &cfg));
+    emit(&experiments::fig9(&ws, &cfg));
+    emit(&experiments::fig10(&ws, &cfg));
+    emit(&experiments::l1i_coverage(&ws, &cfg));
+    emit(&experiments::area_table());
+    eprintln!("running timing experiments (figures 2, 6, 7)...");
+    emit(&experiments::fig2(&ws, &cfg));
+    emit(&experiments::fig6(&ws, &cfg));
+    emit(&experiments::fig7(&ws, &cfg));
+}

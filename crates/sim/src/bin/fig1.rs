@@ -1,0 +1,13 @@
+//! Regenerates the paper's fig1 result. Usage: `fig1 [--quick] [--csv]`.
+
+use confluence_sim::experiments::{self, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
+    let ws = cfg.workloads();
+    let r = experiments::fig1(&ws, &cfg);
+    if csv { println!("{}", r.to_csv()); } else { println!("{}", r.to_table()); }
+}

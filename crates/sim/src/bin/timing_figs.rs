@@ -1,0 +1,26 @@
+//! Regenerates the three timing figures (2, 6, 7) in one pass, reusing the
+//! generated workloads. Usage: `timing_figs [--quick] [--csv|--markdown]`.
+
+use confluence_sim::experiments::{self, ExperimentConfig};
+use confluence_sim::report::Report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let md = args.iter().any(|a| a == "--markdown");
+    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
+    let ws = cfg.workloads();
+    let emit = |r: &Report| {
+        if csv {
+            println!("{}", r.to_csv());
+        } else if md {
+            println!("{}", r.to_markdown());
+        } else {
+            println!("{}", r.to_table());
+        }
+    };
+    emit(&experiments::fig2(&ws, &cfg));
+    emit(&experiments::fig6(&ws, &cfg));
+    emit(&experiments::fig7(&ws, &cfg));
+}

@@ -1,0 +1,463 @@
+//! Experiment runners: one function per table/figure of the paper.
+//!
+//! Every runner regenerates the same rows/series the paper reports and
+//! returns them as a [`Report`]. The `all_experiments` binary chains them
+//! and emits an EXPERIMENTS.md-style summary with the paper's published
+//! values alongside the measured ones.
+
+use std::sync::Arc;
+
+use confluence_area::AreaModel;
+use confluence_btb::{ConventionalBtb, PhantomBtb};
+use confluence_core::{AirBtb, AirBtbMode};
+use confluence_trace::{Program, Workload};
+use confluence_uarch::MemParams;
+
+use crate::cmp::{simulate_cmp, TimingConfig};
+use crate::coverage::{branch_density, run_coverage, CoverageOptions, CoverageResult};
+use crate::designs::DesignPoint;
+use crate::report::{f, pct, Report};
+
+/// Shared experiment configuration.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Reduced sizes for smoke tests and Criterion benches. Preserves
+    /// orderings; absolute numbers are noisier.
+    pub quick: bool,
+}
+
+impl ExperimentConfig {
+    /// Full-size configuration (used by the figure binaries).
+    pub fn full() -> Self {
+        ExperimentConfig { quick: false }
+    }
+
+    /// Reduced configuration.
+    pub fn quick() -> Self {
+        ExperimentConfig { quick: true }
+    }
+
+    /// Coverage-harness options for this configuration.
+    pub fn coverage(&self) -> CoverageOptions {
+        if self.quick {
+            CoverageOptions { warmup_instrs: 300_000, measure_instrs: 500_000, ..Default::default() }
+        } else {
+            CoverageOptions {
+                warmup_instrs: 1_500_000,
+                measure_instrs: 2_500_000,
+                ..Default::default()
+            }
+        }
+    }
+
+    /// Timing-simulation configuration.
+    pub fn timing(&self) -> TimingConfig {
+        if self.quick {
+            TimingConfig {
+                cores: 4,
+                warmup_instrs: 120_000,
+                measure_instrs: 120_000,
+                mem: MemParams { cores: 4, ..MemParams::default() },
+                ..TimingConfig::default()
+            }
+        } else {
+            TimingConfig {
+                cores: 8,
+                warmup_instrs: 200_000,
+                measure_instrs: 250_000,
+                mem: MemParams { cores: 16, ..MemParams::default() },
+                ..TimingConfig::default()
+            }
+        }
+    }
+
+    /// Generates the five paper workloads (scaled down in quick mode).
+    pub fn workloads(&self) -> Vec<(Workload, Program)> {
+        Workload::ALL
+            .into_iter()
+            .map(|w| {
+                let mut spec = w.spec();
+                if self.quick {
+                    spec.target_code_kb /= 4;
+                }
+                (w, Program::generate(&spec).expect("preset specs are valid"))
+            })
+            .collect()
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// Figure 1: BTB MPKI as a function of BTB capacity (1K-32K entries).
+pub fn fig1(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
+    const CAPACITIES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+    let mut report = Report::new(
+        "Figure 1: BTB MPKI vs capacity (conventional BTB, kilo-entries)",
+        &["workload", "1K", "2K", "4K", "8K", "16K", "32K"],
+    );
+    let opts = cfg.coverage();
+    for (w, p) in workloads {
+        let mut cells = vec![w.name().to_string()];
+        for k in CAPACITIES {
+            let mut btb = ConventionalBtb::new("sweep", k * 1024, 4, 64).expect("valid geometry");
+            let r = run_coverage(p, &mut btb, &opts);
+            cells.push(f(r.btb_mpki(), 1));
+        }
+        report.row(cells);
+    }
+    report
+}
+
+/// Table 2: static and dynamic branch density in demand-fetched blocks.
+pub fn table2(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
+    // Paper values (Table 2).
+    let paper: [(f64, f64); 5] = [(3.6, 1.4), (2.5, 1.6), (3.4, 1.4), (3.5, 1.5), (4.3, 1.5)];
+    let mut report = Report::new(
+        "Table 2: branch density per 64B block (measured vs paper)",
+        &["workload", "static", "static(paper)", "dynamic", "dynamic(paper)"],
+    );
+    let instrs = if cfg.quick { 600_000 } else { 3_000_000 };
+    for (i, (w, p)) in workloads.iter().enumerate() {
+        let (stat, dynamic) = branch_density(p, instrs, 3);
+        report.row(vec![
+            w.name().to_string(),
+            f(stat, 2),
+            f(paper[i].0, 1),
+            f(dynamic, 2),
+            f(paper[i].1, 1),
+        ]);
+    }
+    report
+}
+
+/// Runs the coverage harness for one AirBTB ablation mode.
+fn airbtb_coverage(
+    program: &Program,
+    mode: AirBtbMode,
+    bundle: usize,
+    overflow: usize,
+    opts: &CoverageOptions,
+) -> CoverageResult {
+    let mut btb = AirBtb::new(mode, confluence_core::DEFAULT_BUNDLES, bundle, overflow);
+    if mode == AirBtbMode::SpatialLocality {
+        btb = btb.with_oracle(Arc::new(program.clone()));
+    }
+    let o = match mode {
+        AirBtbMode::Prefetching | AirBtbMode::Full => opts.clone().with_shift(),
+        _ => opts.clone(),
+    };
+    run_coverage(program, &mut btb, &o)
+}
+
+/// Figure 8: breakdown of AirBTB miss-coverage benefits over the 1K-entry
+/// conventional BTB (Capacity, +Spatial Locality, +Prefetching,
+/// +Block-Based Organization).
+pub fn fig8(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
+    let mut report = Report::new(
+        "Figure 8: AirBTB coverage breakdown vs 1K conventional BTB \
+         (cumulative factors; paper avg: 18% / +57% / +7% / +11% = 93%)",
+        &["workload", "capacity", "+spatial", "+prefetch", "+block org (total)"],
+    );
+    let opts = cfg.coverage();
+    for (w, p) in workloads {
+        let mut base = ConventionalBtb::baseline_1k().expect("valid geometry");
+        let rb = run_coverage(p, &mut base, &opts);
+        let steps = [
+            airbtb_coverage(p, AirBtbMode::CapacityOnly, 3, 32, &opts),
+            airbtb_coverage(p, AirBtbMode::SpatialLocality, 3, 32, &opts),
+            airbtb_coverage(p, AirBtbMode::Prefetching, 3, 32, &opts),
+            airbtb_coverage(p, AirBtbMode::Full, 3, 32, &opts),
+        ];
+        let cov: Vec<f64> = steps.iter().map(|r| r.btb_miss_coverage_vs(&rb)).collect();
+        report.row(vec![
+            w.name().to_string(),
+            pct(cov[0]),
+            pct(cov[1]),
+            pct(cov[2]),
+            pct(cov[3]),
+        ]);
+    }
+    report
+}
+
+/// Figure 9: BTB misses eliminated vs the 1K-entry conventional BTB for
+/// PhantomBTB, AirBTB (Confluence), and a 16K conventional BTB.
+pub fn fig9(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
+    let mut report = Report::new(
+        "Figure 9: BTB miss coverage vs 1K conventional BTB \
+         (paper avg: PhantomBTB 61%, AirBTB 93%, 16K BTB 95%)",
+        &["workload", "PhantomBTB", "AirBTB", "16K BTB"],
+    );
+    let opts = cfg.coverage();
+    for (w, p) in workloads {
+        let mut base = ConventionalBtb::baseline_1k().expect("valid geometry");
+        let rb = run_coverage(p, &mut base, &opts);
+        let mut ph = PhantomBtb::paper_config(26).expect("valid geometry");
+        let rp = run_coverage(p, &mut ph, &opts);
+        let ra = airbtb_coverage(p, AirBtbMode::Full, 3, 32, &opts);
+        let mut big = ConventionalBtb::large_16k().expect("valid geometry");
+        let r16 = run_coverage(p, &mut big, &opts);
+        report.row(vec![
+            w.name().to_string(),
+            pct(rp.btb_miss_coverage_vs(&rb)),
+            pct(ra.btb_miss_coverage_vs(&rb)),
+            pct(r16.btb_miss_coverage_vs(&rb)),
+        ]);
+    }
+    report
+}
+
+/// Figure 10: AirBTB sensitivity to bundle size (B) and overflow buffer
+/// entries (OB).
+pub fn fig10(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
+    let mut report = Report::new(
+        "Figure 10: AirBTB miss coverage for (B, OB) configurations \
+         (paper: B:3/OB:0 can be negative; B:3/OB:32 = 93%; B:4/OB:32 = +2%)",
+        &["workload", "B:3,OB:0", "B:3,OB:32", "B:4,OB:0", "B:4,OB:32"],
+    );
+    let opts = cfg.coverage();
+    for (w, p) in workloads {
+        let mut base = ConventionalBtb::baseline_1k().expect("valid geometry");
+        let rb = run_coverage(p, &mut base, &opts);
+        let configs = [(3usize, 0usize), (3, 32), (4, 0), (4, 32)];
+        let mut cells = vec![w.name().to_string()];
+        for (b, ob) in configs {
+            let r = airbtb_coverage(p, AirBtbMode::Full, b, ob, &opts);
+            cells.push(pct(r.btb_miss_coverage_vs(&rb)));
+        }
+        report.row(cells);
+    }
+    report
+}
+
+/// Supplementary: SHIFT's L1-I miss coverage (paper Section 5.1 cites
+/// ~85-90% of L1-I misses eliminated).
+pub fn l1i_coverage(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
+    let mut report = Report::new(
+        "SHIFT L1-I miss coverage vs no prefetching (paper: ~90%)",
+        &["workload", "base L1-I MPKI", "SHIFT L1-I MPKI", "coverage"],
+    );
+    let opts = cfg.coverage();
+    for (w, p) in workloads {
+        let mut a = ConventionalBtb::baseline_1k().expect("valid geometry");
+        let rb = run_coverage(p, &mut a, &opts);
+        let mut b = ConventionalBtb::baseline_1k().expect("valid geometry");
+        let rs = run_coverage(p, &mut b, &opts.clone().with_shift());
+        report.row(vec![
+            w.name().to_string(),
+            f(rb.l1i_mpki(), 1),
+            f(rs.l1i_mpki(), 1),
+            pct(rs.l1i_miss_coverage_vs(&rb)),
+        ]);
+    }
+    report
+}
+
+/// The design points plotted in Figure 2 (conventional mechanisms only).
+pub const FIG2_DESIGNS: [DesignPoint; 6] = [
+    DesignPoint::Baseline,
+    DesignPoint::Fdp,
+    DesignPoint::PhantomFdp,
+    DesignPoint::TwoLevelFdp,
+    DesignPoint::TwoLevelShift,
+    DesignPoint::Ideal,
+];
+
+/// The design points plotted in Figure 6 (Figure 2 + Confluence).
+pub const FIG6_DESIGNS: [DesignPoint; 7] = [
+    DesignPoint::Baseline,
+    DesignPoint::Fdp,
+    DesignPoint::PhantomFdp,
+    DesignPoint::TwoLevelFdp,
+    DesignPoint::TwoLevelShift,
+    DesignPoint::Confluence,
+    DesignPoint::Ideal,
+];
+
+/// Figures 2 and 6: relative performance and relative per-core area of the
+/// frontend designs, normalized to the baseline (geometric mean across
+/// workloads).
+pub fn fig_perf_area(
+    workloads: &[(Workload, Program)],
+    designs: &[DesignPoint],
+    cfg: &ExperimentConfig,
+    caption: &str,
+) -> Report {
+    let mut report = Report::new(
+        caption.to_string(),
+        &["design", "rel. performance", "rel. area", "btb MPKI", "L1-I MPKI"],
+    );
+    let tcfg = cfg.timing();
+    let area = AreaModel::paper();
+    let base_profile = DesignPoint::Baseline.storage_profile();
+
+    // Baseline IPC per workload for normalization.
+    let base_ipc: Vec<f64> = workloads
+        .iter()
+        .map(|(_, p)| simulate_cmp(p, DesignPoint::Baseline, &tcfg).ipc())
+        .collect();
+
+    for &d in designs {
+        let mut rel_product = 1.0;
+        let mut btb_mpki = 0.0;
+        let mut l1i_mpki = 0.0;
+        for (i, (_, p)) in workloads.iter().enumerate() {
+            let r = if d == DesignPoint::Baseline {
+                // Reuse the normalization run's statistics.
+                simulate_cmp(p, DesignPoint::Baseline, &tcfg)
+            } else {
+                simulate_cmp(p, d, &tcfg)
+            };
+            rel_product *= r.ipc() / base_ipc[i];
+            btb_mpki += r.btb_mpki();
+            l1i_mpki += r.l1i_mpki();
+        }
+        let n = workloads.len() as f64;
+        let geo = rel_product.powf(1.0 / n);
+        let rel_area = area.relative_area(&d.storage_profile(), &base_profile);
+        report.row(vec![
+            d.name().to_string(),
+            f(geo, 3),
+            f(rel_area, 3),
+            f(btb_mpki / n, 1),
+            f(l1i_mpki / n, 1),
+        ]);
+    }
+    report
+}
+
+/// Figure 2 wrapper.
+pub fn fig2(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
+    fig_perf_area(
+        workloads,
+        &FIG2_DESIGNS,
+        cfg,
+        "Figure 2: relative performance & area of conventional frontends \
+         (paper: FDP 1.05, PhantomBTB+FDP 1.09, 2LevelBTB+SHIFT 1.22, Ideal 1.35)",
+    )
+}
+
+/// Figure 6 wrapper.
+pub fn fig6(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
+    fig_perf_area(
+        workloads,
+        &FIG6_DESIGNS,
+        cfg,
+        "Figure 6: relative performance & area including Confluence \
+         (paper: Confluence 1.30 at ~1.01x area = 85% of Ideal's improvement)",
+    )
+}
+
+/// Figure 7: per-workload speedup of BTB designs (all coupled with SHIFT)
+/// over the 1K-entry conventional BTB + SHIFT.
+pub fn fig7(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
+    let designs = [
+        DesignPoint::PhantomShift,
+        DesignPoint::TwoLevelShift,
+        DesignPoint::Confluence,
+        DesignPoint::IdealBtbShift,
+    ];
+    let mut report = Report::new(
+        "Figure 7: speedup of BTB designs (each coupled with SHIFT) over the \
+         1K-entry conventional-BTB baseline \
+         (paper: Phantom lowest; 2Level = 51% and Confluence = 90% of IdealBTB's speedup)",
+        &["workload", "PhantomBTB+SHIFT", "2LevelBTB+SHIFT", "Confluence", "IdealBTB+SHIFT"],
+    );
+    let tcfg = cfg.timing();
+    for (w, p) in workloads {
+        let base = simulate_cmp(p, DesignPoint::Baseline, &tcfg);
+        let mut cells = vec![w.name().to_string()];
+        for d in designs {
+            let r = simulate_cmp(p, d, &tcfg);
+            cells.push(f(r.speedup_over(&base), 3));
+        }
+        report.row(cells);
+    }
+    report
+}
+
+/// Section 4.2 storage/area accounting table.
+pub fn area_table() -> Report {
+    let mut report = Report::new(
+        "Storage & area accounting (paper Section 4.2; CACTI-lite @40nm)",
+        &["structure", "dedicated KB", "LLC-resident KB", "per-core mm2", "rel. area"],
+    );
+    let model = AreaModel::paper();
+    let base = DesignPoint::Baseline.storage_profile();
+    for d in [
+        DesignPoint::Baseline,
+        DesignPoint::PhantomFdp,
+        DesignPoint::TwoLevelFdp,
+        DesignPoint::TwoLevelShift,
+        DesignPoint::Confluence,
+        DesignPoint::IdealBtbShift,
+    ] {
+        let p = d.storage_profile();
+        report.row(vec![
+            d.name().to_string(),
+            f(p.dedicated_kib(), 1),
+            f(p.llc_resident_bytes as f64 / 1024.0, 0),
+            f(model.frontend_mm2(&p), 3),
+            f(model.relative_area(&p, &base), 4),
+        ]);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_workloads() -> Vec<(Workload, Program)> {
+        // Two workloads keep test time sane.
+        let cfg = ExperimentConfig::quick();
+        cfg.workloads().into_iter().take(2).collect()
+    }
+
+    #[test]
+    fn fig1_mpki_declines_with_capacity() {
+        let ws = quick_workloads();
+        let r = fig1(&ws, &ExperimentConfig::quick());
+        assert_eq!(r.len(), ws.len());
+        let table = r.to_csv();
+        // Parse first data row and check monotone non-increase 1K -> 32K.
+        let row = table.lines().nth(2).unwrap();
+        let vals: Vec<f64> =
+            row.split(',').skip(1).map(|v| v.parse().unwrap()).collect();
+        assert!(vals[0] >= vals[5], "1K {} should exceed 32K {}", vals[0], vals[5]);
+    }
+
+    #[test]
+    fn table2_produces_all_rows() {
+        let ws = quick_workloads();
+        let r = table2(&ws, &ExperimentConfig::quick());
+        assert_eq!(r.len(), ws.len());
+    }
+
+    #[test]
+    fn fig9_airbtb_beats_phantom() {
+        let ws = quick_workloads();
+        let r = fig9(&ws, &ExperimentConfig::quick());
+        let csv = r.to_csv();
+        for line in csv.lines().skip(2) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let phantom: f64 = cells[1].trim_end_matches('%').parse().unwrap();
+            let air: f64 = cells[2].trim_end_matches('%').parse().unwrap();
+            assert!(air > phantom, "AirBTB {air}% must beat PhantomBTB {phantom}% ({line})");
+        }
+    }
+
+    #[test]
+    fn area_table_matches_paper_budgets() {
+        let r = area_table();
+        let csv = r.to_csv();
+        let conf_row = csv.lines().find(|l| l.starts_with("Confluence")).unwrap();
+        let cells: Vec<&str> = conf_row.split(',').collect();
+        let rel: f64 = cells[4].parse().unwrap();
+        assert!((1.003..1.02).contains(&rel), "Confluence rel. area {rel}");
+    }
+}

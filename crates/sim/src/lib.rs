@@ -1,0 +1,16 @@
+//! Cycle-level frontend CMP simulator, design points, and experiment
+//! runners for the Confluence reproduction.
+
+#![warn(missing_docs)]
+
+mod cmp;
+mod coverage;
+mod designs;
+pub mod experiments;
+pub mod report;
+mod timing;
+
+pub use coverage::{branch_density, run_coverage, CoverageOptions, CoverageResult};
+pub use designs::{airbtb_ablation, DesignPoint, PrefetchScheme};
+pub use cmp::{simulate_cmp, TimingConfig, TimingResult};
+pub use timing::{CoreFrontend, CoreStats};

@@ -1,0 +1,148 @@
+//! Table and CSV formatting for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple experiment report: a caption, column headers, and rows.
+///
+/// Renders as an aligned ASCII table (the default) or as CSV (`--csv`),
+/// matching the rows/series the paper's figures plot.
+#[derive(Clone, Debug)]
+pub struct Report {
+    caption: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report with a caption and column headers.
+    pub fn new(caption: impl Into<String>, headers: &[&str]) -> Self {
+        Report {
+            caption: caption.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the report has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The caption.
+    pub fn caption(&self) -> &str {
+        &self.caption
+    }
+
+    /// Renders an aligned ASCII table.
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.caption);
+        let line: String = widths.iter().map(|w| "-".repeat(w + 2)).collect();
+        let _ = writeln!(out, "{line}");
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}  ", c, w = widths[i]))
+                .collect::<String>()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let _ = writeln!(out, "{line}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+
+    /// Renders CSV (caption as a `#` comment line).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.caption);
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Renders a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "**{}**\n", self.caption);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("Test table", &["name", "value"]);
+        r.row(vec!["alpha".into(), f(1.234, 2)]);
+        r.row(vec!["beta".into(), f(5.6, 2)]);
+        r
+    }
+
+    #[test]
+    fn table_alignment_includes_all_rows() {
+        let t = sample().to_table();
+        assert!(t.contains("Test table"));
+        assert!(t.contains("alpha"));
+        assert!(t.contains("5.60"));
+        assert_eq!(t.lines().count(), 6);
+    }
+
+    #[test]
+    fn csv_is_machine_readable() {
+        let c = sample().to_csv();
+        let mut lines = c.lines();
+        assert!(lines.next().unwrap().starts_with('#'));
+        assert_eq!(lines.next().unwrap(), "name,value");
+        assert_eq!(lines.next().unwrap(), "alpha,1.23");
+    }
+
+    #[test]
+    fn markdown_has_separator() {
+        let m = sample().to_markdown();
+        assert!(m.contains("|---|---|"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.934), "93.4%");
+    }
+}

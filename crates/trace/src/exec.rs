@@ -1,0 +1,425 @@
+//! Trace executor: walks a [`Program`] and emits the committed instruction
+//! stream.
+//!
+//! The executor is the synthetic stand-in for the paper's trace collection
+//! on Flexus/Simics: it produces the correct-path instruction stream of one
+//! core serving requests. Each simulated core gets its own executor (own
+//! seed, own request interleaving) over the *same* shared program, which is
+//! what makes cross-core metadata sharing (SHIFT, Confluence) effective.
+
+use confluence_types::{DetRng, TraceRecord, VAddr};
+
+use crate::program::{Program, Term};
+
+/// Maximum plausible call depth; exceeded only by a generator bug.
+const STACK_GUARD: usize = 512;
+
+/// Streaming executor over a generated program.
+///
+/// Implements [`Iterator`] over [`TraceRecord`]s and never terminates on its
+/// own (servers run forever); consumers bound it with `take(n)`.
+///
+/// # Example
+///
+/// ```
+/// use confluence_trace::{Program, WorkloadSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = Program::generate(&WorkloadSpec::tiny())?;
+/// let trace: Vec<_> = program.executor(1).take(1000).collect();
+/// assert_eq!(trace.len(), 1000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Executor<'p> {
+    program: &'p Program,
+    rng: DetRng,
+    /// Current basic block index.
+    bb: u32,
+    /// Next instruction slot within the block (0..=plain; `plain` is the
+    /// terminator slot).
+    pos: u8,
+    /// Return-address stack of basic-block indices.
+    stack: Vec<u32>,
+    /// Cumulative request-type weights for fast scheduling.
+    request_cdf: Vec<f64>,
+    /// Per-request "flavor": every data-dependent outcome (branch
+    /// direction, dispatch target, loop trip count) is a deterministic
+    /// function of `(site, flavor)`. Flavors are drawn from a bounded pool
+    /// per request type, so whole request paths *recur* — the request-level
+    /// recurrence server workloads exhibit (paper Section 2.2).
+    flavor: u64,
+    /// Iteration counters for active loop back-edges, keyed by site.
+    loop_counters: std::collections::HashMap<u32, u32>,
+    instr_count: u64,
+    requests_completed: u64,
+}
+
+impl Program {
+    /// Creates an executor over this program with the given per-core seed.
+    pub fn executor(&self, seed: u64) -> Executor<'_> {
+        Executor::new(self, seed)
+    }
+}
+
+impl<'p> Executor<'p> {
+    /// Creates an executor with a dedicated dynamic-behaviour seed.
+    pub fn new(program: &'p Program, seed: u64) -> Executor<'p> {
+        let mut rng = DetRng::seed_from(seed ^ 0xE8EC_u64.rotate_left(32));
+        let total: f64 = program.request_entries().iter().map(|&(_, w)| w).sum();
+        let mut acc = 0.0;
+        let request_cdf = program
+            .request_entries()
+            .iter()
+            .map(|&(_, w)| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        let first = program.request_entries()[0].0;
+        let mut ex = Executor {
+            program,
+            rng: rng.fork(1),
+            bb: first,
+            pos: 0,
+            stack: Vec::with_capacity(64),
+            request_cdf,
+            flavor: 0,
+            loop_counters: std::collections::HashMap::new(),
+            instr_count: 0,
+            requests_completed: 0,
+        };
+        // Start at a randomized request so per-core phases differ.
+        ex.bb = ex.schedule_next();
+        ex
+    }
+
+    /// Instructions emitted so far.
+    pub fn instr_count(&self) -> u64 {
+        self.instr_count
+    }
+
+    /// Requests completed so far (top-level handler returns).
+    pub fn requests_completed(&self) -> u64 {
+        self.requests_completed
+    }
+
+    /// Current call depth.
+    pub fn call_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Fast-forwards the executor by `n` instructions (warm-up).
+    ///
+    /// Named `fast_forward` (not `skip`) to avoid shadowing `Iterator::skip`.
+    pub fn fast_forward(&mut self, n: u64) {
+        for _ in 0..n {
+            if self.next_record().is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Picks the next top-level routine: an OS service routine with the
+    /// spec's interleave probability, otherwise a request handler by
+    /// popularity.
+    fn schedule_next(&mut self) -> u32 {
+        let spec = self.program.spec();
+        self.loop_counters.clear();
+        let os = self.program.os_entries();
+        if !os.is_empty() && self.rng.chance(spec.os_interleave) {
+            let idx = self.rng.index(os.len());
+            // OS routines have a small flavor pool of their own.
+            self.flavor = Self::mix(0x05_05, (idx as u64) << 32 | self.rng.below(8));
+            return os[idx];
+        }
+        let draw = self.rng.f64();
+        let idx = self
+            .request_cdf
+            .iter()
+            .position(|&c| draw < c)
+            .unwrap_or(self.request_cdf.len() - 1);
+        // Draw a flavor from the request type's bounded pool: the same
+        // flavor recurs every ~pool_size requests of this type.
+        let flavor_idx = self.rng.below(spec.flavors_per_request as u64);
+        self.flavor = Self::mix((idx as u64) << 32, flavor_idx);
+        self.program.request_entries()[idx].0
+    }
+
+    /// 64-bit mixer (splitmix-style finalizer).
+    #[inline]
+    fn mix(a: u64, b: u64) -> u64 {
+        let mut h = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^ (h >> 31)
+    }
+
+    /// Deterministic per-(site, flavor) draw in `[0, 1)`.
+    #[inline]
+    fn site_unit(&self, site: u32, salt: u64) -> f64 {
+        (Self::mix(self.flavor ^ salt, site as u64) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Weighted pick that is deterministic per (site, request flavor):
+    /// the same indirect site resolves identically within one request
+    /// flavor, preserving the target distribution across flavors.
+    fn pick_weighted(&self, site: u32, choices: &[(u32, f32)]) -> u32 {
+        let unit = self.site_unit(site, 0x1D1) as f32;
+        let total: f32 = choices.iter().map(|&(_, w)| w).sum();
+        let mut draw = unit * total;
+        for &(t, w) in choices {
+            draw -= w;
+            if draw < 0.0 {
+                return t;
+            }
+        }
+        choices.last().expect("indirect site has no targets").0
+    }
+
+    /// Outcome of a conditional branch at `site`.
+    ///
+    /// Forward conditionals are a pure function of (site, flavor). Backward
+    /// conditionals are loop back-edges: the flavor fixes the trip count
+    /// (mean `1/(1 - taken_prob)`), and an iteration counter walks it.
+    fn cond_taken(&mut self, site: u32, target: u32, taken_prob: f64) -> bool {
+        if target <= self.bb {
+            // Loop back-edge: deterministic trip count for this flavor.
+            let mean = (1.0 / (1.0 - taken_prob.min(0.97))).ceil() as u64;
+            let span = (2 * mean).max(2);
+            let trip = 1 + (Self::mix(self.flavor ^ 0x7219, site as u64) % span) as u32;
+            let ctr = self.loop_counters.entry(site).or_insert(0);
+            *ctr += 1;
+            if *ctr < trip {
+                true
+            } else {
+                self.loop_counters.remove(&site);
+                false
+            }
+        } else {
+            self.site_unit(site, 0xC02D) < taken_prob
+        }
+    }
+
+    /// Produces the next committed instruction.
+    #[inline]
+    pub fn next_record(&mut self) -> Option<TraceRecord> {
+        loop {
+            let bbs = self.program.bbs();
+            let bb = &bbs[self.bb as usize];
+            if self.pos < bb.plain {
+                let pc = bb.base.add_instrs(self.pos as usize);
+                self.pos += 1;
+                self.instr_count += 1;
+                return Some(TraceRecord::plain(pc));
+            }
+            // Terminator slot.
+            match &bb.term {
+                Term::FallThrough => {
+                    self.bb += 1;
+                    self.pos = 0;
+                    continue;
+                }
+                term => {
+                    let pc = bb.term_pc();
+                    let kind = term.kind().expect("non-fallthrough terminator has a kind");
+                    let (taken, next_bb, target): (bool, u32, VAddr) = match term {
+                        Term::Cond { target, taken_prob } => {
+                            let t_addr = bbs[*target as usize].base;
+                            if self.cond_taken(self.bb, *target, *taken_prob) {
+                                (true, *target, t_addr)
+                            } else {
+                                (false, self.bb + 1, t_addr)
+                            }
+                        }
+                        Term::Jump { target } => (true, *target, bbs[*target as usize].base),
+                        Term::Call { callee } => {
+                            self.push_return(self.bb + 1);
+                            (true, *callee, bbs[*callee as usize].base)
+                        }
+                        Term::IndirectCall { choices } => {
+                            let callee = self.pick_weighted(self.bb, choices);
+                            self.push_return(self.bb + 1);
+                            (true, callee, bbs[callee as usize].base)
+                        }
+                        Term::IndirectJump { choices } => {
+                            let t = self.pick_weighted(self.bb, choices);
+                            (true, t, bbs[t as usize].base)
+                        }
+                        Term::Return => match self.stack.pop() {
+                            Some(ret) => (true, ret, bbs[ret as usize].base),
+                            None => {
+                                self.requests_completed += 1;
+                                let next = self.schedule_next();
+                                (true, next, bbs[next as usize].base)
+                            }
+                        },
+                        Term::FallThrough => unreachable!(),
+                    };
+                    self.bb = next_bb;
+                    self.pos = 0;
+                    self.instr_count += 1;
+                    return Some(TraceRecord::branch(pc, kind, taken, target));
+                }
+            }
+        }
+    }
+
+    fn push_return(&mut self, ret_bb: u32) {
+        debug_assert!(self.stack.len() < STACK_GUARD, "runaway call depth");
+        self.stack.push(ret_bb);
+    }
+}
+
+impl Iterator for Executor<'_> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        self.next_record()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+    use crate::Program;
+    use confluence_types::BranchKind;
+
+    fn tiny_program() -> Program {
+        Program::generate(&WorkloadSpec::tiny()).unwrap()
+    }
+
+    #[test]
+    fn executor_is_deterministic() {
+        let p = tiny_program();
+        let a: Vec<_> = p.executor(7).take(5000).collect();
+        let b: Vec<_> = p.executor(7).take(5000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_interleavings() {
+        let p = tiny_program();
+        let a: Vec<_> = p.executor(1).take(5000).collect();
+        let b: Vec<_> = p.executor(2).take(5000).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn control_flow_is_consistent() {
+        // Every record's pc must equal the previous record's next_pc.
+        let p = tiny_program();
+        let mut prev: Option<TraceRecord> = None;
+        for r in p.executor(3).take(50_000) {
+            if let Some(pr) = prev {
+                assert_eq!(
+                    r.pc,
+                    pr.next_pc(),
+                    "discontinuity after {pr:?} -> {r:?} (trace must be sequentially consistent)"
+                );
+            }
+            prev = Some(r);
+        }
+    }
+
+    #[test]
+    fn calls_and_returns_balance() {
+        let p = tiny_program();
+        let mut ex = p.executor(4);
+        let mut calls = 0i64;
+        let mut returns = 0i64;
+        for _ in 0..100_000 {
+            let r = ex.next_record().unwrap();
+            if let Some(b) = r.branch {
+                match b.kind {
+                    BranchKind::Call | BranchKind::IndirectCall => calls += 1,
+                    BranchKind::Return => returns += 1,
+                    _ => {}
+                }
+            }
+        }
+        // Returns may exceed calls (top-level handlers return to the
+        // scheduler), but the difference is bounded by requests completed.
+        let extra_returns = returns - (calls - ex.call_depth() as i64);
+        assert!(extra_returns >= 0);
+        assert!(extra_returns as u64 <= ex.requests_completed() + 1);
+    }
+
+    #[test]
+    fn requests_complete_and_depth_stays_bounded() {
+        let p = tiny_program();
+        let mut ex = p.executor(5);
+        for _ in 0..200_000 {
+            ex.next_record();
+            assert!(ex.call_depth() < 64, "depth {}", ex.call_depth());
+        }
+        assert!(ex.requests_completed() > 10, "only {} requests", ex.requests_completed());
+    }
+
+    #[test]
+    fn branch_mix_is_plausible() {
+        let p = tiny_program();
+        let mut branches = 0usize;
+        let mut conds = 0usize;
+        let mut taken = 0usize;
+        let n = 200_000;
+        for r in p.executor(6).take(n) {
+            if let Some(b) = r.branch {
+                branches += 1;
+                if b.kind == BranchKind::Conditional {
+                    conds += 1;
+                }
+                if b.taken {
+                    taken += 1;
+                }
+            }
+        }
+        let bfrac = branches as f64 / n as f64;
+        assert!((0.10..0.40).contains(&bfrac), "branch fraction {bfrac}");
+        assert!(conds > branches / 4, "too few conditionals");
+        assert!(taken > branches / 3, "too few taken branches");
+    }
+
+    #[test]
+    fn fast_forward_advances_instruction_count() {
+        let p = tiny_program();
+        let mut ex = p.executor(8);
+        ex.fast_forward(1234);
+        assert_eq!(ex.instr_count(), 1234);
+    }
+
+    #[test]
+    fn loops_terminate_under_flavor_determinism() {
+        // Loop back-edges use flavor-fixed trip counts; no request may spin
+        // forever (bounded by the structural guard of the trip counter).
+        let p = tiny_program();
+        let mut ex = p.executor(11);
+        let mut max_run_without_request = 0u64;
+        let mut last_done = 0;
+        let mut since = 0u64;
+        for _ in 0..400_000 {
+            ex.next_record();
+            since += 1;
+            if ex.requests_completed() != last_done {
+                last_done = ex.requests_completed();
+                max_run_without_request = max_run_without_request.max(since);
+                since = 0;
+            }
+        }
+        assert!(ex.requests_completed() > 3, "requests: {}", ex.requests_completed());
+    }
+
+    #[test]
+    fn pcs_stay_inside_generated_code() {
+        let p = tiny_program();
+        let bytes = p.stats().code_bytes as u64;
+        for r in p.executor(9).take(100_000) {
+            let off = r.pc.raw().checked_sub(0x4000_0000).expect("pc below code base");
+            assert!(off < bytes, "pc {} outside code", r.pc);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Compact binary serialization for traces.
+//!
+//! Traces are normally generated on the fly, but tests, debugging, and
+//! cross-tool comparisons benefit from a stable on-disk format. Records are
+//! encoded as a 1-byte tag plus little-endian fields:
+//!
+//! ```text
+//! tag 0x00:                plain instruction    [tag][pc: u64]
+//! tag 0x80 | kind | taken: branch instruction   [tag][pc: u64][target: u64]
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use confluence_types::{BranchKind, TraceRecord, VAddr};
+use std::error::Error;
+use std::fmt;
+
+const TAG_BRANCH: u8 = 0x80;
+const TAG_TAKEN: u8 = 0x40;
+
+/// Error returned when decoding a malformed trace buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeTraceError {
+    offset: usize,
+    reason: &'static str,
+}
+
+impl fmt::Display for DecodeTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace decode failed at byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl Error for DecodeTraceError {}
+
+fn kind_code(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::Unconditional => 1,
+        BranchKind::Call => 2,
+        BranchKind::Return => 3,
+        BranchKind::IndirectJump => 4,
+        BranchKind::IndirectCall => 5,
+    }
+}
+
+fn code_kind(code: u8) -> Option<BranchKind> {
+    Some(match code {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Unconditional,
+        2 => BranchKind::Call,
+        3 => BranchKind::Return,
+        4 => BranchKind::IndirectJump,
+        5 => BranchKind::IndirectCall,
+        _ => return None,
+    })
+}
+
+/// Encodes records into a binary buffer.
+pub fn encode_records<I>(records: I) -> Bytes
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
+    let mut buf = BytesMut::new();
+    for r in records {
+        match r.branch {
+            None => {
+                buf.put_u8(0);
+                buf.put_u64_le(r.pc.raw());
+            }
+            Some(b) => {
+                let tag = TAG_BRANCH | if b.taken { TAG_TAKEN } else { 0 } | kind_code(b.kind);
+                buf.put_u8(tag);
+                buf.put_u64_le(r.pc.raw());
+                buf.put_u64_le(b.target.raw());
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a buffer produced by [`encode_records`].
+///
+/// # Errors
+///
+/// Returns [`DecodeTraceError`] on truncated buffers or unknown tags.
+pub fn decode_records(mut data: &[u8]) -> Result<Vec<TraceRecord>, DecodeTraceError> {
+    let total = data.len();
+    let mut out = Vec::new();
+    while data.has_remaining() {
+        let offset = total - data.remaining();
+        let tag = data.get_u8();
+        if tag == 0 {
+            if data.remaining() < 8 {
+                return Err(DecodeTraceError { offset, reason: "truncated plain record" });
+            }
+            out.push(TraceRecord::plain(VAddr::new(data.get_u64_le())));
+        } else if tag & TAG_BRANCH != 0 {
+            if data.remaining() < 16 {
+                return Err(DecodeTraceError { offset, reason: "truncated branch record" });
+            }
+            let kind = code_kind(tag & 0x0F)
+                .ok_or(DecodeTraceError { offset, reason: "unknown branch kind" })?;
+            let taken = tag & TAG_TAKEN != 0;
+            let pc = VAddr::new(data.get_u64_le());
+            let target = VAddr::new(data.get_u64_le());
+            out.push(TraceRecord::branch(pc, kind, taken, target));
+        } else {
+            return Err(DecodeTraceError { offset, reason: "unknown tag" });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Program, WorkloadSpec};
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let p = Program::generate(&WorkloadSpec::tiny()).unwrap();
+        let trace: Vec<_> = p.executor(1).take(10_000).collect();
+        let encoded = encode_records(trace.iter().copied());
+        let decoded = decode_records(&encoded).unwrap();
+        assert_eq!(trace, decoded);
+    }
+
+    #[test]
+    fn truncated_buffer_errors() {
+        let p = Program::generate(&WorkloadSpec::tiny()).unwrap();
+        let trace: Vec<_> = p.executor(1).take(100).collect();
+        let encoded = encode_records(trace);
+        let err = decode_records(&encoded[..encoded.len() - 3]).unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        let err = decode_records(&[0x7F]).unwrap_err();
+        assert!(err.to_string().contains("unknown tag"));
+    }
+
+    #[test]
+    fn empty_buffer_is_empty_trace() {
+        assert_eq!(decode_records(&[]).unwrap(), Vec::new());
+    }
+}

@@ -1,0 +1,232 @@
+//! Virtual-address and block-address newtypes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bytes per instruction (fixed-width RISC, UltraSPARC-like).
+pub const INSTR_BYTES: usize = 4;
+/// Number of bytes per instruction cache block.
+pub const BLOCK_BYTES: usize = 64;
+/// Number of instructions held by one cache block.
+pub const INSTRS_PER_BLOCK: usize = BLOCK_BYTES / INSTR_BYTES;
+/// Width of the modelled virtual address space in bits (paper assumes 48).
+pub const VADDR_BITS: u32 = 48;
+
+const BLOCK_SHIFT: u32 = BLOCK_BYTES.trailing_zeros();
+const VADDR_MASK: u64 = (1 << VADDR_BITS) - 1;
+
+/// A byte-grain virtual address of an instruction.
+///
+/// Addresses are kept within the modelled 48-bit virtual address space and
+/// are expected to be 4-byte aligned (instruction-aligned); constructors
+/// enforce the 48-bit range but alignment is the generator's responsibility
+/// (checked by `debug_assert!`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct VAddr(u64);
+
+impl VAddr {
+    /// Creates an instruction address from a raw value.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `raw` is not 4-byte aligned or exceeds the
+    /// 48-bit virtual address space.
+    #[inline]
+    pub fn new(raw: u64) -> Self {
+        debug_assert_eq!(raw % INSTR_BYTES as u64, 0, "instruction address must be aligned");
+        debug_assert_eq!(raw & !VADDR_MASK, 0, "address exceeds 48-bit space");
+        VAddr(raw & VADDR_MASK)
+    }
+
+    /// Returns the raw 48-bit address value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instruction block containing this address.
+    #[inline]
+    pub fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> BLOCK_SHIFT)
+    }
+
+    /// Byte offset of this address within its cache block (0..64).
+    #[inline]
+    pub fn block_offset(self) -> usize {
+        (self.0 as usize) & (BLOCK_BYTES - 1)
+    }
+
+    /// Instruction index of this address within its cache block (0..16).
+    #[inline]
+    pub fn instr_index(self) -> usize {
+        self.block_offset() / INSTR_BYTES
+    }
+
+    /// The address of the sequentially next instruction.
+    #[inline]
+    pub fn next_instr(self) -> VAddr {
+        VAddr((self.0 + INSTR_BYTES as u64) & VADDR_MASK)
+    }
+
+    /// The address `n` instructions after this one.
+    #[inline]
+    pub fn add_instrs(self, n: usize) -> VAddr {
+        VAddr((self.0 + (n * INSTR_BYTES) as u64) & VADDR_MASK)
+    }
+
+    /// Number of instructions between `self` and `other` (exclusive),
+    /// assuming `other >= self`. Returns `None` if `other < self`.
+    #[inline]
+    pub fn instrs_until(self, other: VAddr) -> Option<usize> {
+        other.0.checked_sub(self.0).map(|d| (d as usize) / INSTR_BYTES)
+    }
+}
+
+impl fmt::Debug for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<VAddr> for u64 {
+    fn from(a: VAddr) -> u64 {
+        a.0
+    }
+}
+
+/// A block-grain address: a virtual address shifted right by the block size.
+///
+/// This is the granularity at which the L1-I, the LLC, SHIFT's history, and
+/// AirBTB's bundles all operate.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a raw block number.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        BlockAddr(raw & (VADDR_MASK >> BLOCK_SHIFT))
+    }
+
+    /// Returns the block containing the given instruction address.
+    #[inline]
+    pub fn containing(addr: VAddr) -> Self {
+        addr.block()
+    }
+
+    /// Returns the raw block number (address >> 6).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// First instruction address inside this block.
+    #[inline]
+    pub fn base(self) -> VAddr {
+        VAddr(self.0 << BLOCK_SHIFT)
+    }
+
+    /// Instruction address at instruction index `idx` (0..16) in this block.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `idx >= INSTRS_PER_BLOCK`.
+    #[inline]
+    pub fn instr(self, idx: usize) -> VAddr {
+        debug_assert!(idx < INSTRS_PER_BLOCK);
+        VAddr((self.0 << BLOCK_SHIFT) + (idx * INSTR_BYTES) as u64)
+    }
+
+    /// The sequentially next block.
+    #[inline]
+    pub fn next(self) -> BlockAddr {
+        BlockAddr::from_raw(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BlockAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0 << BLOCK_SHIFT)
+    }
+}
+
+impl From<VAddr> for BlockAddr {
+    fn from(a: VAddr) -> BlockAddr {
+        a.block()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_and_offset_roundtrip() {
+        let a = VAddr::new(0x1234_5678 & !0x3);
+        let b = a.block();
+        assert_eq!(b.instr(a.instr_index()), a);
+    }
+
+    #[test]
+    fn next_instr_advances_by_instr_bytes() {
+        let a = VAddr::new(0x1000);
+        assert_eq!(a.next_instr().raw(), 0x1004);
+        assert_eq!(a.add_instrs(16).raw(), 0x1040);
+    }
+
+    #[test]
+    fn instr_index_covers_block() {
+        let b = BlockAddr::from_raw(0x77);
+        for i in 0..INSTRS_PER_BLOCK {
+            let a = b.instr(i);
+            assert_eq!(a.block(), b);
+            assert_eq!(a.instr_index(), i);
+        }
+    }
+
+    #[test]
+    fn crossing_block_boundary_changes_block() {
+        let b = BlockAddr::from_raw(5);
+        let last = b.instr(INSTRS_PER_BLOCK - 1);
+        assert_eq!(last.next_instr().block(), b.next());
+    }
+
+    #[test]
+    fn instrs_until_counts_instructions() {
+        let a = VAddr::new(0x1000);
+        let b = VAddr::new(0x1020);
+        assert_eq!(a.instrs_until(b), Some(8));
+        assert_eq!(b.instrs_until(a), None);
+    }
+
+    #[test]
+    fn vaddr_masks_to_48_bits() {
+        let a = VAddr::new((1u64 << VADDR_BITS) - INSTR_BYTES as u64);
+        assert_eq!(a.next_instr().raw(), 0);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(format!("{}", VAddr::new(0x1000)), "0x1000");
+        assert_eq!(format!("{}", BlockAddr::from_raw(1)), "0x40");
+    }
+}

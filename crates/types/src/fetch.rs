@@ -1,0 +1,97 @@
+//! Fetch regions: the unit of communication between the branch prediction
+//! unit and the instruction fetch unit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::VAddr;
+
+/// A contiguous range of instructions the branch prediction unit hands to
+/// the fetch unit each cycle (paper Section 3.3: "the addresses of the
+/// instructions starting and ending a basic block").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FetchRegion {
+    /// Address of the first instruction in the region.
+    pub start: VAddr,
+    /// Number of instructions in the region (>= 1).
+    pub len: usize,
+}
+
+impl FetchRegion {
+    /// Creates a fetch region starting at `start` spanning `len`
+    /// instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `len == 0`.
+    #[inline]
+    pub fn new(start: VAddr, len: usize) -> Self {
+        debug_assert!(len > 0, "fetch region must contain at least one instruction");
+        FetchRegion { start, len }
+    }
+
+    /// Creates the region `[start, end]` inclusive of both endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `end < start`.
+    #[inline]
+    pub fn spanning(start: VAddr, end: VAddr) -> Self {
+        let n = start.instrs_until(end).expect("fetch region end precedes start");
+        FetchRegion::new(start, n + 1)
+    }
+
+    /// Address of the last instruction in the region.
+    #[inline]
+    pub fn last(self) -> VAddr {
+        self.start.add_instrs(self.len - 1)
+    }
+
+    /// Iterates over the cache blocks the region touches, in order.
+    pub fn blocks(self) -> impl Iterator<Item = crate::BlockAddr> {
+        let first = self.start.block();
+        let last = self.last().block();
+        (first.raw()..=last.raw()).map(crate::BlockAddr::from_raw)
+    }
+
+    /// Iterates over the instruction addresses in the region.
+    pub fn instrs(self) -> impl Iterator<Item = VAddr> {
+        let start = self.start;
+        (0..self.len).map(move |i| start.add_instrs(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockAddr, INSTRS_PER_BLOCK};
+
+    #[test]
+    fn spanning_is_inclusive() {
+        let r = FetchRegion::spanning(VAddr::new(0x100), VAddr::new(0x10c));
+        assert_eq!(r.len, 4);
+        assert_eq!(r.last(), VAddr::new(0x10c));
+    }
+
+    #[test]
+    fn blocks_covers_boundary_crossing() {
+        let start = BlockAddr::from_raw(10).instr(INSTRS_PER_BLOCK - 2);
+        let r = FetchRegion::new(start, 4); // crosses into block 11
+        let blocks: Vec<_> = r.blocks().collect();
+        assert_eq!(blocks, vec![BlockAddr::from_raw(10), BlockAddr::from_raw(11)]);
+    }
+
+    #[test]
+    fn single_instr_region() {
+        let r = FetchRegion::new(VAddr::new(0x40), 1);
+        assert_eq!(r.last(), r.start);
+        assert_eq!(r.blocks().count(), 1);
+        assert_eq!(r.instrs().count(), 1);
+    }
+
+    #[test]
+    fn instrs_enumerates_in_order() {
+        let r = FetchRegion::new(VAddr::new(0x40), 3);
+        let pcs: Vec<_> = r.instrs().map(|a| a.raw()).collect();
+        assert_eq!(pcs, vec![0x40, 0x44, 0x48]);
+    }
+}

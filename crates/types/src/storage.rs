@@ -1,0 +1,116 @@
+//! Storage accounting for frontend structures.
+//!
+//! Every BTB design and prefetcher reports the SRAM arrays it adds to the
+//! core and any LLC capacity it occupies through predictor virtualization.
+//! The `confluence-area` crate converts these into mm² using the paper's
+//! CACTI-calibrated model.
+
+use serde::{Deserialize, Serialize};
+
+/// One dedicated SRAM array (tag + data, all overheads in bits).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramArray {
+    /// Human-readable label, e.g. `"BTB L1"` or `"overflow buffer"`.
+    pub label: String,
+    /// Total storage bits of the array.
+    pub bits: u64,
+}
+
+impl SramArray {
+    /// Creates an array record.
+    pub fn new(label: impl Into<String>, bits: u64) -> Self {
+        SramArray { label: label.into(), bits }
+    }
+
+    /// Size in KiB.
+    pub fn kib(&self) -> f64 {
+        self.bits as f64 / 8.0 / 1024.0
+    }
+}
+
+/// The storage footprint of one frontend structure.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StorageProfile {
+    /// Dedicated per-core SRAM arrays.
+    pub arrays: Vec<SramArray>,
+    /// Bytes of LLC data capacity occupied by virtualized metadata
+    /// (shared across all cores running the workload).
+    pub llc_resident_bytes: u64,
+    /// Bytes added to the LLC tag array (e.g. SHIFT's index pointers),
+    /// shared across cores.
+    pub llc_tag_extension_bytes: u64,
+}
+
+impl StorageProfile {
+    /// A profile with no storage at all (perfect/idealized structures).
+    pub fn empty() -> Self {
+        StorageProfile::default()
+    }
+
+    /// Adds a dedicated SRAM array.
+    pub fn with_array(mut self, label: impl Into<String>, bits: u64) -> Self {
+        self.arrays.push(SramArray::new(label, bits));
+        self
+    }
+
+    /// Sets the LLC-resident metadata footprint.
+    pub fn with_llc_resident(mut self, bytes: u64) -> Self {
+        self.llc_resident_bytes = bytes;
+        self
+    }
+
+    /// Sets the LLC tag-array extension footprint.
+    pub fn with_llc_tag_extension(mut self, bytes: u64) -> Self {
+        self.llc_tag_extension_bytes = bytes;
+        self
+    }
+
+    /// Total dedicated per-core SRAM bits.
+    pub fn dedicated_bits(&self) -> u64 {
+        self.arrays.iter().map(|a| a.bits).sum()
+    }
+
+    /// Total dedicated per-core SRAM KiB.
+    pub fn dedicated_kib(&self) -> f64 {
+        self.dedicated_bits() as f64 / 8.0 / 1024.0
+    }
+
+    /// Merges another profile into this one (e.g. BTB + prefetcher).
+    pub fn merge(mut self, other: StorageProfile) -> Self {
+        self.arrays.extend(other.arrays);
+        self.llc_resident_bytes += other.llc_resident_bytes;
+        self.llc_tag_extension_bytes += other.llc_tag_extension_bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedicated_totals_sum_arrays() {
+        let p = StorageProfile::empty()
+            .with_array("a", 8 * 1024 * 8)
+            .with_array("b", 8 * 1024 * 8);
+        assert_eq!(p.dedicated_bits(), 2 * 8 * 1024 * 8);
+        assert!((p.dedicated_kib() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_all_fields() {
+        let a = StorageProfile::empty().with_array("x", 100).with_llc_resident(64);
+        let b = StorageProfile::empty().with_array("y", 200).with_llc_tag_extension(32);
+        let m = a.merge(b);
+        assert_eq!(m.arrays.len(), 2);
+        assert_eq!(m.dedicated_bits(), 300);
+        assert_eq!(m.llc_resident_bytes, 64);
+        assert_eq!(m.llc_tag_extension_bytes, 32);
+    }
+
+    #[test]
+    fn kib_conversion() {
+        let a = SramArray::new("t", 8 * 1024);
+        assert!((a.kib() - 1.0).abs() < 1e-9);
+    }
+}

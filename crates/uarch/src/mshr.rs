@@ -1,0 +1,109 @@
+//! Miss-status holding registers for the L1-I (paper Table 1: 8 MSHRs).
+
+use confluence_types::BlockAddr;
+
+/// Tracks outstanding block fills with their completion cycles.
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    entries: Vec<(BlockAddr, u64)>,
+    capacity: usize,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be nonzero");
+        MshrFile { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// True if no new miss can be tracked.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Number of outstanding fills.
+    pub fn outstanding(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Cycle at which the fill for `block` completes, if one is in flight.
+    pub fn ready_at(&self, block: BlockAddr) -> Option<u64> {
+        self.entries.iter().find(|&&(b, _)| b == block).map(|&(_, t)| t)
+    }
+
+    /// Allocates an entry for `block` completing at `ready_cycle`.
+    ///
+    /// Returns `false` (and does nothing) if the file is full or the block
+    /// is already tracked.
+    pub fn allocate(&mut self, block: BlockAddr, ready_cycle: u64) -> bool {
+        if self.is_full() || self.ready_at(block).is_some() {
+            return false;
+        }
+        self.entries.push((block, ready_cycle));
+        true
+    }
+
+    /// Releases entries that have completed by `now` and returns them.
+    pub fn drain_completed(&mut self, now: u64) -> Vec<BlockAddr> {
+        let mut done = Vec::new();
+        self.entries.retain(|&(b, t)| {
+            if t <= now {
+                done.push(b);
+                false
+            } else {
+                true
+            }
+        });
+        done
+    }
+
+    /// Clears all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_until_full() {
+        let mut m = MshrFile::new(2);
+        assert!(m.allocate(BlockAddr::from_raw(1), 10));
+        assert!(m.allocate(BlockAddr::from_raw(2), 12));
+        assert!(m.is_full());
+        assert!(!m.allocate(BlockAddr::from_raw(3), 14));
+    }
+
+    #[test]
+    fn duplicate_blocks_are_merged() {
+        let mut m = MshrFile::new(4);
+        assert!(m.allocate(BlockAddr::from_raw(1), 10));
+        assert!(!m.allocate(BlockAddr::from_raw(1), 20));
+        assert_eq!(m.ready_at(BlockAddr::from_raw(1)), Some(10));
+    }
+
+    #[test]
+    fn drain_releases_only_completed() {
+        let mut m = MshrFile::new(4);
+        m.allocate(BlockAddr::from_raw(1), 10);
+        m.allocate(BlockAddr::from_raw(2), 20);
+        let done = m.drain_completed(15);
+        assert_eq!(done, vec![BlockAddr::from_raw(1)]);
+        assert_eq!(m.outstanding(), 1);
+        assert!(!m.is_full());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = MshrFile::new(2);
+        m.allocate(BlockAddr::from_raw(1), 10);
+        m.clear();
+        assert_eq!(m.outstanding(), 0);
+    }
+}

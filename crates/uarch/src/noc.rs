@@ -1,0 +1,104 @@
+//! 2D-mesh network-on-chip latency model (4x4 mesh, 3 cycles per hop).
+
+use confluence_types::{BlockAddr, ConfigError};
+
+/// Latency model for a square 2D mesh connecting cores to LLC banks.
+///
+/// Tiles are numbered row-major; LLC banks are address-interleaved at block
+/// granularity across the tiles (one bank per tile, paper Table 1: 16
+/// banks).
+#[derive(Clone, Debug)]
+pub struct MeshNoc {
+    dim: usize,
+    hop_latency: u64,
+}
+
+impl MeshNoc {
+    /// Creates a mesh for `tiles` tiles (must be a perfect square).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `tiles` is not a perfect square or is zero.
+    pub fn new(tiles: usize, hop_latency: u64) -> Result<Self, ConfigError> {
+        let dim = (tiles as f64).sqrt() as usize;
+        if dim == 0 || dim * dim != tiles {
+            return Err(ConfigError::new(format!("tiles = {tiles} is not a perfect square")));
+        }
+        Ok(MeshNoc { dim, hop_latency })
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.dim * self.dim
+    }
+
+    /// The LLC bank (tile) holding the given block (address-interleaved).
+    pub fn bank_of(&self, block: BlockAddr) -> usize {
+        (block.raw() % self.tiles() as u64) as usize
+    }
+
+    /// Manhattan hop distance between two tiles.
+    pub fn hops(&self, from: usize, to: usize) -> u64 {
+        let (fx, fy) = (from % self.dim, from / self.dim);
+        let (tx, ty) = (to % self.dim, to / self.dim);
+        (fx.abs_diff(tx) + fy.abs_diff(ty)) as u64
+    }
+
+    /// One-way latency from tile `from` to tile `to`.
+    pub fn latency(&self, from: usize, to: usize) -> u64 {
+        self.hops(from, to) * self.hop_latency
+    }
+
+    /// Round-trip latency from a core tile to the bank holding `block`.
+    pub fn round_trip(&self, core: usize, block: BlockAddr) -> u64 {
+        2 * self.latency(core, self.bank_of(block))
+    }
+
+    /// Mean round-trip latency from `core` to a uniformly random bank;
+    /// useful for closed-form latency estimates.
+    pub fn mean_round_trip(&self, core: usize) -> f64 {
+        let total: u64 = (0..self.tiles()).map(|b| 2 * self.latency(core, b)).sum();
+        total as f64 / self.tiles() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(MeshNoc::new(15, 3).is_err());
+        assert!(MeshNoc::new(0, 3).is_err());
+    }
+
+    #[test]
+    fn hop_distance_is_manhattan() {
+        let noc = MeshNoc::new(16, 3).unwrap();
+        assert_eq!(noc.hops(0, 0), 0);
+        assert_eq!(noc.hops(0, 3), 3); // same row
+        assert_eq!(noc.hops(0, 15), 6); // opposite corner
+        assert_eq!(noc.hops(5, 10), 2);
+    }
+
+    #[test]
+    fn round_trip_is_twice_oneway() {
+        let noc = MeshNoc::new(16, 3).unwrap();
+        let b = BlockAddr::from_raw(15); // bank 15
+        assert_eq!(noc.round_trip(0, b), 2 * 6 * 3);
+    }
+
+    #[test]
+    fn banks_interleave_by_block() {
+        let noc = MeshNoc::new(16, 3).unwrap();
+        assert_eq!(noc.bank_of(BlockAddr::from_raw(0)), 0);
+        assert_eq!(noc.bank_of(BlockAddr::from_raw(17)), 1);
+    }
+
+    #[test]
+    fn mean_round_trip_positive_and_bounded() {
+        let noc = MeshNoc::new(16, 3).unwrap();
+        let m = noc.mean_round_trip(5);
+        assert!(m > 0.0 && m <= 36.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Architectural parameters from Table 1 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Core pipeline parameters (ARM Cortex-A72-like, paper Section 4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoreParams {
+    /// Fetch-queue capacity in basic blocks ("fetch queue of six basic
+    /// blocks").
+    pub fetch_queue_regions: usize,
+    /// Sequential instructions speculatively enqueued on a BTB miss
+    /// ("a predefined number of instructions (eight)").
+    pub btb_miss_seq_instrs: usize,
+    /// Cycles from fetch to the first decode stage where misfetches are
+    /// detected ("misfetch penalty of 4 cycles").
+    pub misfetch_penalty: u64,
+    /// Full pipeline flush penalty for a resolved direction/indirect
+    /// misprediction (15-stage pipeline; resolve in execute).
+    pub mispredict_penalty: u64,
+    /// Maximum instructions retired per cycle (3-way OoO).
+    pub retire_width: usize,
+    /// Instruction-buffer capacity decoupling fetch from retire.
+    pub instr_buffer: usize,
+    /// Basic-block predictions produced per cycle by the BPU.
+    pub predictions_per_cycle: usize,
+    /// Instructions the fetch stage can deliver per cycle (16-byte fetch,
+    /// 4-byte instructions).
+    pub fetch_width: usize,
+}
+
+impl Default for CoreParams {
+    fn default() -> Self {
+        CoreParams {
+            fetch_queue_regions: 6,
+            btb_miss_seq_instrs: 8,
+            misfetch_penalty: 4,
+            mispredict_penalty: 8,
+            retire_width: 3,
+            instr_buffer: 96,
+            predictions_per_cycle: 1,
+            fetch_width: 4,
+        }
+    }
+}
+
+/// Memory-hierarchy parameters (paper Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemParams {
+    /// L1-I capacity in bytes (32 KB).
+    pub l1i_bytes: usize,
+    /// L1-I associativity.
+    pub l1i_ways: usize,
+    /// L1-I load-to-use latency in cycles.
+    pub l1i_latency: u64,
+    /// L1-I MSHR count.
+    pub l1i_mshrs: usize,
+    /// Number of cores / LLC slices (4x4 mesh).
+    pub cores: usize,
+    /// Per-core LLC slice capacity in bytes (512 KB NUCA).
+    pub llc_slice_bytes: usize,
+    /// LLC associativity.
+    pub llc_ways: usize,
+    /// LLC bank access latency in cycles.
+    pub llc_bank_latency: u64,
+    /// Mesh hop latency in cycles.
+    pub noc_hop_latency: u64,
+    /// Main-memory access latency in cycles (45 ns at 3 GHz).
+    pub mem_latency: u64,
+    /// Cache block size in bytes.
+    pub block_bytes: usize,
+}
+
+impl Default for MemParams {
+    fn default() -> Self {
+        MemParams {
+            l1i_bytes: 32 * 1024,
+            l1i_ways: 4,
+            l1i_latency: 2,
+            l1i_mshrs: 8,
+            cores: 16,
+            llc_slice_bytes: 512 * 1024,
+            llc_ways: 16,
+            llc_bank_latency: 6,
+            noc_hop_latency: 3,
+            mem_latency: 135,
+            block_bytes: 64,
+        }
+    }
+}
+
+impl MemParams {
+    /// Number of L1-I blocks (512 for the default configuration).
+    pub fn l1i_blocks(&self) -> usize {
+        self.l1i_bytes / self.block_bytes
+    }
+
+    /// Number of L1-I sets.
+    pub fn l1i_sets(&self) -> usize {
+        self.l1i_blocks() / self.l1i_ways
+    }
+
+    /// Total LLC blocks across all slices.
+    pub fn llc_blocks(&self) -> usize {
+        self.llc_slice_bytes * self.cores / self.block_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let c = CoreParams::default();
+        assert_eq!(c.fetch_queue_regions, 6);
+        assert_eq!(c.misfetch_penalty, 4);
+        assert_eq!(c.retire_width, 3);
+        let m = MemParams::default();
+        assert_eq!(m.l1i_blocks(), 512);
+        assert_eq!(m.l1i_sets(), 128);
+        assert_eq!(m.llc_blocks(), 131072);
+        assert_eq!(m.mem_latency, 135);
+    }
+}

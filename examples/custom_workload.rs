@@ -1,0 +1,76 @@
+//! Define a custom service workload and evaluate frontend designs on it.
+//!
+//! This models a hypothetical microservice: a shallow stack, few request
+//! types, mid-sized code — and shows how the conclusions shift when the
+//! instruction working set shrinks toward the L1-I capacity.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use confluence::sim::{simulate_cmp, DesignPoint, TimingConfig};
+use confluence::trace::{Program, TermMix, WorkloadSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = WorkloadSpec {
+        name: "microservice",
+        structure_seed: 0xCAFE,
+        target_code_kb: 768,
+        layers: 7,
+        request_types: 6,
+        shared_frac: 0.35,
+        bb_per_func: (4, 14),
+        plain_len_mean: 4.0,
+        plain_len_cold: 0.8,
+        taken_bias_frac: 0.35,
+        term_mix: TermMix {
+            cond: 0.55,
+            call: 0.13,
+            jump: 0.08,
+            indirect_call: 0.04,
+            indirect_jump: 0.015,
+            ret: 0.065,
+            fallthrough: 0.12,
+        },
+        cold_call_prob: 0.15,
+        loop_prob: 0.25,
+        loop_continue: 0.8,
+        strong_bias: 0.9,
+        mixed_frac: 0.04,
+        indirect_fanout: (2, 5),
+        os_interleave: 0.2,
+        request_zipf: 0.6,
+        flavors_per_request: 32,
+        call_scale: 1.0,
+        backend_stall_prob: 0.45,
+    };
+    spec.validate()?;
+    let program = Program::generate(&spec)?;
+    println!(
+        "custom workload: {:.0} KiB code, {} basic blocks",
+        program.stats().code_bytes as f64 / 1024.0,
+        program.stats().basic_blocks
+    );
+
+    let cfg = TimingConfig::quick();
+    let base = simulate_cmp(&program, DesignPoint::Baseline, &cfg);
+    println!("\n{:<22} {:>8} {:>10} {:>10} {:>10}", "design", "IPC", "speedup", "BTB MPKI", "L1I MPKI");
+    for d in [
+        DesignPoint::Baseline,
+        DesignPoint::Fdp,
+        DesignPoint::TwoLevelShift,
+        DesignPoint::Confluence,
+        DesignPoint::Ideal,
+    ] {
+        let r = simulate_cmp(&program, d, &cfg);
+        println!(
+            "{:<22} {:>8.3} {:>9.1}% {:>10.1} {:>10.1}",
+            d.name(),
+            r.ipc(),
+            100.0 * (r.speedup_over(&base) - 1.0),
+            r.btb_mpki(),
+            r.l1i_mpki()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the full Confluence reproduction workspace.
+pub use confluence_area as area;
+pub use confluence_btb as btb;
+pub use confluence_core as core;
+pub use confluence_prefetch as prefetch;
+pub use confluence_sim as sim;
+pub use confluence_trace as trace;
+pub use confluence_types as types;
+pub use confluence_uarch as uarch;

@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: the full pipeline from workload
+//! generation through functional coverage and cycle-level CMP simulation.
+
+use confluence::sim::{
+    run_coverage, simulate_cmp, CoverageOptions, DesignPoint, TimingConfig,
+};
+use confluence::trace::{Program, Workload, WorkloadSpec};
+use confluence_area::AreaModel;
+use confluence_btb::{BtbDesign, ConventionalBtb};
+use confluence_core::AirBtb;
+use confluence_uarch::MemParams;
+
+fn test_program() -> Program {
+    Program::generate(&WorkloadSpec::base().with_code_kb(1024)).expect("valid spec")
+}
+
+fn quick_timing() -> TimingConfig {
+    TimingConfig {
+        cores: 2,
+        warmup_instrs: 80_000,
+        measure_instrs: 80_000,
+        mem: MemParams { cores: 4, ..MemParams::default() },
+        ..TimingConfig::default()
+    }
+}
+
+#[test]
+fn end_to_end_airbtb_beats_baseline_coverage() {
+    let program = test_program();
+    let opts = CoverageOptions::quick();
+    let mut baseline = ConventionalBtb::baseline_1k().unwrap();
+    let rb = run_coverage(&program, &mut baseline, &opts);
+    let mut air = AirBtb::paper_config();
+    let ra = run_coverage(&program, &mut air, &opts.with_shift());
+    let cov = ra.btb_miss_coverage_vs(&rb);
+    assert!(cov > 0.6, "AirBTB coverage {cov}");
+}
+
+#[test]
+fn end_to_end_design_point_ordering() {
+    let program = test_program();
+    let cfg = quick_timing();
+    let base = simulate_cmp(&program, DesignPoint::Baseline, &cfg);
+    let conf = simulate_cmp(&program, DesignPoint::Confluence, &cfg);
+    let ideal = simulate_cmp(&program, DesignPoint::Ideal, &cfg);
+    assert!(
+        conf.ipc() > base.ipc(),
+        "Confluence {} must beat baseline {}",
+        conf.ipc(),
+        base.ipc()
+    );
+    assert!(
+        ideal.ipc() > base.ipc() * 1.05,
+        "Ideal {} must clearly beat baseline {}",
+        ideal.ipc(),
+        base.ipc()
+    );
+}
+
+#[test]
+fn end_to_end_simulation_is_reproducible() {
+    let program = test_program();
+    let cfg = quick_timing();
+    let a = simulate_cmp(&program, DesignPoint::Confluence, &cfg);
+    let b = simulate_cmp(&program, DesignPoint::Confluence, &cfg);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert!((a.ipc() - b.ipc()).abs() < 1e-12);
+}
+
+#[test]
+fn confluence_area_story_holds() {
+    // The headline claim: Confluence ~1% area overhead, two-level ~8%.
+    let model = AreaModel::paper();
+    let base = DesignPoint::Baseline.storage_profile();
+    let conf = model.relative_area(&DesignPoint::Confluence.storage_profile(), &base);
+    let two = model.relative_area(&DesignPoint::TwoLevelShift.storage_profile(), &base);
+    assert!((1.003..1.02).contains(&conf), "Confluence rel. area {conf}");
+    assert!(two > 1.06, "2Level+SHIFT rel. area {two}");
+    assert!(conf < two);
+}
+
+#[test]
+fn all_workload_presets_generate_and_execute() {
+    for w in Workload::ALL {
+        let spec = w.spec().with_code_kb(256);
+        let program = Program::generate(&spec).unwrap();
+        let mut ex = program.executor(1);
+        let mut prev = None;
+        for _ in 0..20_000 {
+            let r = ex.next_record().unwrap();
+            if let Some(p) = prev {
+                let p: confluence::types::TraceRecord = p;
+                assert_eq!(r.pc, p.next_pc(), "{w}: trace discontinuity");
+            }
+            prev = Some(r);
+        }
+    }
+}
+
+#[test]
+fn shift_history_shared_across_cores_helps() {
+    // A consumer core using a history trained by another core must see
+    // L1-I coverage (the cross-core sharing premise of SHIFT/Confluence).
+    use confluence_prefetch::{ShiftEngine, ShiftHistory};
+    use confluence_uarch::L1ICache;
+
+    let program = test_program();
+    let mut history = ShiftHistory::new_32k();
+    // Core 0 trains the history.
+    let mut last = None;
+    for r in program.executor(1).take(600_000) {
+        let b = r.pc.block();
+        if last != Some(b) {
+            last = Some(b);
+            history.record(b);
+        }
+    }
+    // Core 1 (different seed, same program) consumes it.
+    let mut l1i = L1ICache::new_32k();
+    let mut engine = ShiftEngine::new();
+    let mut out = Vec::new();
+    let (mut misses, mut accesses) = (0u64, 0u64);
+    let mut last = None;
+    for r in program.executor(2).take(600_000) {
+        let b = r.pc.block();
+        if last == Some(b) {
+            continue;
+        }
+        last = Some(b);
+        accesses += 1;
+        let hit = l1i.access(b);
+        if !hit {
+            misses += 1;
+            l1i.fill(b);
+        }
+        out.clear();
+        engine.on_access(&history, b, !hit, &mut out);
+        for &p in &out {
+            if !l1i.contains(p) {
+                l1i.fill(p);
+            }
+        }
+    }
+    let miss_rate = misses as f64 / accesses as f64;
+    assert!(
+        miss_rate < 0.08,
+        "consumer core miss rate {miss_rate} too high for a shared history"
+    );
+    assert!(engine.confirmed() > 1000, "stream confirmations {}", engine.confirmed());
+}

@@ -1,0 +1,173 @@
+//! Property-based tests on core data structures and invariants.
+
+use proptest::prelude::*;
+
+use confluence::trace::{decode_records, encode_records, Program, WorkloadSpec};
+use confluence::types::{BlockAddr, BranchKind, DetRng, FetchRegion, TraceRecord, VAddr};
+use confluence_btb::BtbDesign;
+use confluence_core::AirBtb;
+use confluence_types::{PredecodedBranch, INSTRS_PER_BLOCK};
+use confluence_uarch::{L1ICache, ReturnAddressStack, SetAssocCache};
+
+fn arb_vaddr() -> impl Strategy<Value = VAddr> {
+    (0u64..(1 << 40)).prop_map(|v| VAddr::new(v << 2 & ((1 << 47) - 1)))
+}
+
+proptest! {
+    #[test]
+    fn vaddr_block_roundtrip(addr in arb_vaddr()) {
+        let block = addr.block();
+        let idx = addr.instr_index();
+        prop_assert_eq!(block.instr(idx), addr);
+        prop_assert!(idx < INSTRS_PER_BLOCK);
+    }
+
+    #[test]
+    fn fetch_region_blocks_cover_all_instrs(addr in arb_vaddr(), len in 1usize..48) {
+        let region = FetchRegion::new(addr, len);
+        let blocks: Vec<BlockAddr> = region.blocks().collect();
+        // Every instruction's block must be in the block list.
+        for pc in region.instrs() {
+            prop_assert!(blocks.contains(&pc.block()));
+        }
+        // Block list is contiguous and minimal.
+        prop_assert_eq!(blocks.first().copied(), Some(region.start.block()));
+        prop_assert_eq!(blocks.last().copied(), Some(region.last().block()));
+        for w in blocks.windows(2) {
+            prop_assert_eq!(w[1].raw(), w[0].raw() + 1);
+        }
+    }
+
+    #[test]
+    fn det_rng_below_is_bounded(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = DetRng::seed_from(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn det_rng_is_seed_deterministic(seed in any::<u64>()) {
+        let mut a = DetRng::seed_from(seed);
+        let mut b = DetRng::seed_from(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// The set-associative cache agrees with a naive per-set LRU model.
+    #[test]
+    fn cache_matches_reference_lru(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+        let sets = 4usize;
+        let ways = 2usize;
+        let mut cache = SetAssocCache::new(sets, ways).unwrap();
+        // Reference: per-set vector, front = MRU.
+        let mut reference: Vec<Vec<u64>> = vec![Vec::new(); sets];
+        for (key, is_insert) in ops {
+            let set = (key % sets as u64) as usize;
+            if is_insert {
+                cache.insert(key, ());
+                let r = &mut reference[set];
+                if let Some(pos) = r.iter().position(|&k| k == key) {
+                    r.remove(pos);
+                }
+                r.insert(0, key);
+                r.truncate(ways);
+            } else {
+                let hit = cache.lookup(key).is_some();
+                let r = &mut reference[set];
+                let ref_hit = r.contains(&key);
+                prop_assert_eq!(hit, ref_hit, "lookup({}) divergence", key);
+                if let Some(pos) = r.iter().position(|&k| k == key) {
+                    let k = r.remove(pos);
+                    r.insert(0, k);
+                }
+            }
+        }
+        // Final contents agree.
+        for (set, r) in reference.iter().enumerate() {
+            for &k in r {
+                prop_assert!(cache.contains(k), "set {set} lost key {k}");
+            }
+        }
+    }
+
+    /// RAS behaves as a bounded stack: pops mirror pushes up to capacity.
+    #[test]
+    fn ras_is_a_bounded_stack(addrs in prop::collection::vec(0u64..1_000, 1..100), cap in 1usize..80) {
+        let mut ras = ReturnAddressStack::with_capacity(cap);
+        let addrs: Vec<VAddr> = addrs.iter().map(|&a| VAddr::new(a * 4)).collect();
+        for &a in &addrs {
+            ras.push(a);
+        }
+        // Pop back: the last min(cap, n) pushes come back in LIFO order.
+        let expect = addrs.iter().rev().take(cap);
+        for &want in expect {
+            prop_assert_eq!(ras.pop(), Some(want));
+        }
+        prop_assert_eq!(ras.pop(), None);
+    }
+
+    /// Trace serialization round-trips arbitrary records.
+    #[test]
+    fn trace_serialization_roundtrip(records in prop::collection::vec(arb_record(), 0..200)) {
+        let encoded = encode_records(records.iter().copied());
+        let decoded = decode_records(&encoded).unwrap();
+        prop_assert_eq!(records, decoded);
+    }
+
+    /// AirBTB contents always mirror the L1-I in Full (synchronized) mode.
+    #[test]
+    fn airbtb_stays_in_sync_with_l1i(blocks in prop::collection::vec(0u64..512, 1..300)) {
+        let mut l1i = L1ICache::new(16, 2).unwrap();
+        let mut btb = AirBtb::paper_config();
+        let branch = |b: BlockAddr| {
+            [PredecodedBranch::direct(3, BranchKind::Call, b.base())]
+        };
+        for raw in blocks {
+            let block = BlockAddr::from_raw(raw);
+            if !l1i.contains(block) {
+                btb.on_l1i_fill(block, &branch(block));
+                if let Some(evicted) = l1i.fill(block) {
+                    btb.on_l1i_evict(evicted);
+                }
+            }
+            // Invariant: every resident block's branch hits; the bundle
+            // count can never exceed residency.
+            for resident in l1i.resident_blocks().collect::<Vec<_>>() {
+                let outcome = btb.lookup(resident.base(), resident.instr(3));
+                prop_assert!(outcome.hit, "resident block {resident} lost its bundle");
+            }
+        }
+    }
+
+    /// The executor's committed stream is sequentially consistent for any
+    /// seed and scaled workload.
+    #[test]
+    fn executor_stream_is_consistent(seed in any::<u64>(), kb in 48usize..128) {
+        let program = Program::generate(&WorkloadSpec::tiny().with_code_kb(kb)).unwrap();
+        let mut prev: Option<TraceRecord> = None;
+        for r in program.executor(seed).take(3_000) {
+            if let Some(p) = prev {
+                prop_assert_eq!(r.pc, p.next_pc());
+            }
+            prev = Some(r);
+        }
+    }
+}
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    let kinds = prop_oneof![
+        Just(BranchKind::Conditional),
+        Just(BranchKind::Unconditional),
+        Just(BranchKind::Call),
+        Just(BranchKind::Return),
+        Just(BranchKind::IndirectJump),
+        Just(BranchKind::IndirectCall),
+    ];
+    (arb_vaddr(), proptest::option::of((kinds, any::<bool>(), arb_vaddr())))
+        .prop_map(|(pc, branch)| match branch {
+            None => TraceRecord::plain(pc),
+            Some((kind, taken, target)) => TraceRecord::branch(pc, kind, taken, target),
+        })
+}
