@@ -59,7 +59,10 @@ pub struct AreaModel {
 impl AreaModel {
     /// The paper's configuration: 16 Cortex-A72-class cores at 7.2 mm².
     pub fn paper() -> Self {
-        AreaModel { core_mm2: CORE_MM2, cores: 16 }
+        AreaModel {
+            core_mm2: CORE_MM2,
+            cores: 16,
+        }
     }
 
     /// Creates a model with explicit core area and count.
@@ -100,8 +103,7 @@ impl AreaModel {
     /// Relative per-core area of `profile` versus `baseline`, including the
     /// core itself — the x-axis of Figures 2 and 6.
     pub fn relative_area(&self, profile: &StorageProfile, baseline: &StorageProfile) -> f64 {
-        (self.core_mm2 + self.frontend_mm2(profile))
-            / (self.core_mm2 + self.frontend_mm2(baseline))
+        (self.core_mm2 + self.frontend_mm2(profile)) / (self.core_mm2 + self.frontend_mm2(baseline))
     }
 }
 
@@ -117,8 +119,16 @@ mod tests {
 
     #[test]
     fn fit_passes_through_calibration_points() {
-        assert!((sram_mm2(9.9) - 0.08).abs() < 0.005, "got {}", sram_mm2(9.9));
-        assert!((sram_mm2(140.0) - 0.60).abs() < 0.01, "got {}", sram_mm2(140.0));
+        assert!(
+            (sram_mm2(9.9) - 0.08).abs() < 0.005,
+            "got {}",
+            sram_mm2(9.9)
+        );
+        assert!(
+            (sram_mm2(140.0) - 0.60).abs() < 0.01,
+            "got {}",
+            sram_mm2(140.0)
+        );
     }
 
     #[test]

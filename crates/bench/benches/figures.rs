@@ -1,66 +1,76 @@
-//! One benchmark per paper table/figure: each runs the corresponding
-//! experiment pipeline at reduced scale. The time measured is the cost of
-//! regenerating the result; the printed output of the full-scale versions
-//! comes from the `confluence-sim` figure binaries.
+//! One benchmark per paper table/figure, plus engine-path benchmarks.
+//!
+//! Figure benchmarks run against a pre-warmed [`SimEngine`], so they
+//! measure the cost of regenerating a figure when its simulations are
+//! already cached (the steady-state cost inside `all_experiments`). The
+//! `engine` group contrasts that warm path with the cold path — a fresh
+//! engine that must actually execute the simulations — which is the
+//! headline win of the memoizing engine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use confluence_sim::experiments::{self, ExperimentConfig};
-use confluence_trace::{Program, Workload};
+use confluence_sim::SimEngine;
 
-fn quick_workloads() -> Vec<(Workload, Program)> {
-    // Two representative workloads keep bench time bounded.
-    ExperimentConfig::quick().workloads().into_iter().take(2).collect()
-}
-
-fn bench_fig1_btb_mpki(c: &mut Criterion) {
-    let ws = quick_workloads();
+/// Two representative workloads keep bench time bounded.
+fn quick_engine() -> (SimEngine, ExperimentConfig) {
     let cfg = ExperimentConfig::quick();
-    c.bench_function("fig1_btb_mpki_sweep", |b| {
-        b.iter(|| black_box(experiments::fig1(&ws, &cfg)))
-    });
+    let workloads = cfg.workloads().into_iter().take(2).collect();
+    (SimEngine::new(workloads), cfg)
 }
 
-fn bench_table2_branch_density(c: &mut Criterion) {
-    let ws = quick_workloads();
-    let cfg = ExperimentConfig::quick();
-    c.bench_function("table2_branch_density", |b| {
-        b.iter(|| black_box(experiments::table2(&ws, &cfg)))
-    });
+macro_rules! warm_figure_bench {
+    ($fn_name:ident, $figure:ident, $id:literal) => {
+        fn $fn_name(c: &mut Criterion) {
+            let (engine, cfg) = quick_engine();
+            // Warm the cache once; iterations then measure formatting over
+            // cached results.
+            black_box(experiments::$figure(&engine, &cfg));
+            c.bench_function($id, |b| {
+                b.iter(|| black_box(experiments::$figure(&engine, &cfg)))
+            });
+        }
+    };
 }
 
-fn bench_fig8_coverage_breakdown(c: &mut Criterion) {
-    let ws = quick_workloads();
-    let cfg = ExperimentConfig::quick();
-    c.bench_function("fig8_coverage_breakdown", |b| {
-        b.iter(|| black_box(experiments::fig8(&ws, &cfg)))
-    });
-}
-
-fn bench_fig9_coverage_compare(c: &mut Criterion) {
-    let ws = quick_workloads();
-    let cfg = ExperimentConfig::quick();
-    c.bench_function("fig9_coverage_compare", |b| {
-        b.iter(|| black_box(experiments::fig9(&ws, &cfg)))
-    });
-}
-
-fn bench_fig10_airbtb_sensitivity(c: &mut Criterion) {
-    let ws = quick_workloads();
-    let cfg = ExperimentConfig::quick();
-    c.bench_function("fig10_airbtb_sensitivity", |b| {
-        b.iter(|| black_box(experiments::fig10(&ws, &cfg)))
-    });
-}
-
-fn bench_l1i_coverage(c: &mut Criterion) {
-    let ws = quick_workloads();
-    let cfg = ExperimentConfig::quick();
-    c.bench_function("l1i_coverage_shift", |b| {
-        b.iter(|| black_box(experiments::l1i_coverage(&ws, &cfg)))
-    });
-}
+warm_figure_bench!(bench_fig1_btb_mpki, fig1, "fig1_btb_mpki_sweep_warm");
+warm_figure_bench!(
+    bench_table2_branch_density,
+    table2,
+    "table2_branch_density_warm"
+);
+warm_figure_bench!(
+    bench_fig8_coverage_breakdown,
+    fig8,
+    "fig8_coverage_breakdown_warm"
+);
+warm_figure_bench!(
+    bench_fig9_coverage_compare,
+    fig9,
+    "fig9_coverage_compare_warm"
+);
+warm_figure_bench!(
+    bench_fig10_airbtb_sensitivity,
+    fig10,
+    "fig10_airbtb_sensitivity_warm"
+);
+warm_figure_bench!(bench_l1i_coverage, l1i_coverage, "l1i_coverage_shift_warm");
+warm_figure_bench!(
+    bench_fig2_conventional,
+    fig2,
+    "fig2_conventional_frontends_warm"
+);
+warm_figure_bench!(
+    bench_fig6_confluence,
+    fig6,
+    "fig6_confluence_perf_area_warm"
+);
+warm_figure_bench!(
+    bench_fig7_btb_designs,
+    fig7,
+    "fig7_btb_designs_with_shift_warm"
+);
 
 fn bench_area_table(c: &mut Criterion) {
     c.bench_function("area_table_cacti_lite", |b| {
@@ -68,27 +78,28 @@ fn bench_area_table(c: &mut Criterion) {
     });
 }
 
-fn bench_fig2_conventional(c: &mut Criterion) {
-    let ws: Vec<_> = quick_workloads().into_iter().take(1).collect();
-    let cfg = ExperimentConfig::quick();
-    c.bench_function("fig2_conventional_frontends", |b| {
-        b.iter(|| black_box(experiments::fig2(&ws, &cfg)))
+/// Cold path: a fresh engine per iteration must execute Figure 9's
+/// simulations (the workload programs are reused via `Arc`, so the cost
+/// measured is simulation, not generation).
+fn bench_engine_cold_fig9(c: &mut Criterion) {
+    let (warm, cfg) = quick_engine();
+    let workloads = warm.workloads().to_vec();
+    c.bench_function("engine_cold_fig9", |b| {
+        b.iter_batched(
+            || SimEngine::new(workloads.clone()),
+            |engine| black_box(experiments::fig9(&engine, &cfg)),
+            BatchSize::PerIteration,
+        )
     });
 }
 
-fn bench_fig6_confluence(c: &mut Criterion) {
-    let ws: Vec<_> = quick_workloads().into_iter().take(1).collect();
-    let cfg = ExperimentConfig::quick();
-    c.bench_function("fig6_confluence_perf_area", |b| {
-        b.iter(|| black_box(experiments::fig6(&ws, &cfg)))
-    });
-}
-
-fn bench_fig7_btb_designs(c: &mut Criterion) {
-    let ws: Vec<_> = quick_workloads().into_iter().take(1).collect();
-    let cfg = ExperimentConfig::quick();
-    c.bench_function("fig7_btb_designs_with_shift", |b| {
-        b.iter(|| black_box(experiments::fig7(&ws, &cfg)))
+/// Warm path: the same figure over an engine whose cache already holds
+/// every job — pure formatting.
+fn bench_engine_warm_fig9(c: &mut Criterion) {
+    let (engine, cfg) = quick_engine();
+    black_box(experiments::fig9(&engine, &cfg));
+    c.bench_function("engine_warm_fig9", |b| {
+        b.iter(|| black_box(experiments::fig9(&engine, &cfg)))
     });
 }
 
@@ -106,4 +117,10 @@ criterion_group! {
     targets = bench_fig2_conventional, bench_fig6_confluence, bench_fig7_btb_designs
 }
 
-criterion_main!(coverage_figures, timing_figures);
+criterion_group! {
+    name = engine_paths;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_cold_fig9, bench_engine_warm_fig9
+}
+
+criterion_main!(coverage_figures, timing_figures, engine_paths);

@@ -134,7 +134,7 @@ fn bench_direction_predictor(c: &mut Criterion) {
         b.iter(|| {
             for round in 0..16u64 {
                 for (i, &pc) in pcs.iter().enumerate() {
-                    let taken = (i as u64 + round) % 3 != 0;
+                    let taken = !(i as u64 + round).is_multiple_of(3);
                     black_box(bp.predict(pc));
                     bp.update(pc, taken);
                 }

@@ -10,8 +10,6 @@
 
 /// Shared helper: a small, deterministic workload for benches.
 pub fn bench_program() -> confluence_trace::Program {
-    confluence_trace::Program::generate(
-        &confluence_trace::WorkloadSpec::base().with_code_kb(512),
-    )
-    .expect("bench spec is valid")
+    confluence_trace::Program::generate(&confluence_trace::WorkloadSpec::base().with_code_kb(512))
+        .expect("bench spec is valid")
 }

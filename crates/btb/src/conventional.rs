@@ -93,7 +93,14 @@ impl ConventionalBtb {
         } else {
             None
         };
-        Ok(ConventionalBtb { name, main, victim, entries, ways, victim_entries })
+        Ok(ConventionalBtb {
+            name,
+            main,
+            victim,
+            entries,
+            ways,
+            victim_entries,
+        })
     }
 
     /// Configured main-table entry count.

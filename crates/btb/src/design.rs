@@ -1,6 +1,8 @@
 //! The common interface implemented by every BTB design in the study.
 
-use confluence_types::{BlockAddr, BranchClass, BranchKind, PredecodedBranch, StorageProfile, VAddr};
+use confluence_types::{
+    BlockAddr, BranchClass, BranchKind, PredecodedBranch, StorageProfile, VAddr,
+};
 
 /// A dynamic branch as resolved by the core, used to train BTBs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -22,7 +22,9 @@ impl IdealBtb {
     /// Propagates cache-geometry errors (cannot occur for this fixed
     /// configuration).
     pub fn new_16k() -> Result<Self, ConfigError> {
-        Ok(IdealBtb { inner: ConventionalBtb::new("IdealBTB", 16 * 1024, 4, 0)? })
+        Ok(IdealBtb {
+            inner: ConventionalBtb::new("IdealBTB", 16 * 1024, 4, 0)?,
+        })
     }
 }
 
@@ -73,7 +75,13 @@ impl BtbDesign for PerfectBtb {
     }
 
     fn lookup(&mut self, _bb_start: VAddr, _branch_pc: VAddr) -> BtbOutcome {
-        BtbOutcome { first_level_hit: true, hit: true, target: None, class: None, fill_bubble: 0 }
+        BtbOutcome {
+            first_level_hit: true,
+            hit: true,
+            target: None,
+            class: None,
+            fill_bubble: 0,
+        }
     }
 
     fn update(&mut self, _resolved: &ResolvedBranch) {}

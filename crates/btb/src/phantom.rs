@@ -147,7 +147,9 @@ impl PhantomBtb {
             }
         });
         for seq in arrived {
-            let Some(group) = self.group_at(seq) else { continue };
+            let Some(group) = self.group_at(seq) else {
+                continue;
+            };
             for (bb, entry) in group.clone() {
                 self.prefetch_buffer.insert(Self::key(bb), entry);
             }
@@ -319,7 +321,11 @@ mod tests {
             btb.lookup(VAddr::new(bb), VAddr::new(bb + 4));
             btb.update(&resolved(bb));
         }
-        assert!(btb.stored_groups() >= 3, "groups stored: {}", btb.stored_groups());
+        assert!(
+            btb.stored_groups() >= 3,
+            "groups stored: {}",
+            btb.stored_groups()
+        );
         // Pass 2: replay. Trigger misses fetch groups; later entries hit.
         let mut hits = 0;
         for &bb in &seq {
@@ -328,7 +334,11 @@ mod tests {
             }
             btb.update(&resolved(bb));
         }
-        assert!(hits > seq.len() / 2, "prefetching eliminated only {hits}/{} misses", seq.len());
+        assert!(
+            hits > seq.len() / 2,
+            "prefetching eliminated only {hits}/{} misses",
+            seq.len()
+        );
     }
 
     #[test]
@@ -354,9 +364,14 @@ mod tests {
             outcomes[0].fill_bubble > 0 || !outcomes[0].hit,
             "the trigger cannot be served for free"
         );
-        let free_hits =
-            outcomes[1..].iter().filter(|o| o.hit && o.fill_bubble == 0).count();
-        assert!(free_hits >= 6, "group prefetch covered only {free_hits} later lookups for free");
+        let free_hits = outcomes[1..]
+            .iter()
+            .filter(|o| o.hit && o.fill_bubble == 0)
+            .count();
+        assert!(
+            free_hits >= 6,
+            "group prefetch covered only {free_hits} later lookups for free"
+        );
     }
 
     #[test]
@@ -402,7 +417,10 @@ mod tests {
             }
             btb.update(&resolved(bb));
         }
-        assert_eq!(free_early_hits, 0, "in-flight groups must not serve immediately");
+        assert_eq!(
+            free_early_hits, 0,
+            "in-flight groups must not serve immediately"
+        );
     }
 
     #[test]
@@ -411,7 +429,11 @@ mod tests {
         let p = btb.storage();
         assert_eq!(p.llc_resident_bytes, 256 * 1024);
         // Dedicated ~= baseline BTB budget (paper: 9.9 KB).
-        assert!((9.0..11.5).contains(&p.dedicated_kib()), "got {} KiB", p.dedicated_kib());
+        assert!(
+            (9.0..11.5).contains(&p.dedicated_kib()),
+            "got {} KiB",
+            p.dedicated_kib()
+        );
     }
 
     #[test]

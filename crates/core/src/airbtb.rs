@@ -65,7 +65,11 @@ struct BundleEntry {
 
 impl BundleEntry {
     fn from_predecode(b: &PredecodedBranch) -> Self {
-        BundleEntry { offset: b.offset, class: b.kind.class(), target: b.target }
+        BundleEntry {
+            offset: b.offset,
+            class: b.kind.class(),
+            target: b.target,
+        }
     }
 }
 
@@ -142,7 +146,12 @@ impl AirBtb {
     /// bundle, 32-entry overflow buffer, fully synchronized with the L1-I
     /// (10.2 KB).
     pub fn paper_config() -> Self {
-        Self::new(AirBtbMode::Full, DEFAULT_BUNDLES, DEFAULT_BUNDLE_ENTRIES, DEFAULT_OVERFLOW_ENTRIES)
+        Self::new(
+            AirBtbMode::Full,
+            DEFAULT_BUNDLES,
+            DEFAULT_BUNDLE_ENTRIES,
+            DEFAULT_OVERFLOW_ENTRIES,
+        )
     }
 
     /// Creates an AirBTB with explicit geometry (Figure 10 sweeps bundle
@@ -152,7 +161,12 @@ impl AirBtb {
     ///
     /// Panics if `bundles` is not a multiple of 4 (the fixed associativity)
     /// or `bundle_entries` is zero.
-    pub fn new(mode: AirBtbMode, bundles: usize, bundle_entries: usize, overflow_entries: usize) -> Self {
+    pub fn new(
+        mode: AirBtbMode,
+        bundles: usize,
+        bundle_entries: usize,
+        overflow_entries: usize,
+    ) -> Self {
         assert!(bundle_entries > 0, "bundles must hold at least one entry");
         let standalone = SetAssocCache::new((bundles / 4).max(1), 4)
             .expect("bundle count must give a power-of-two set count");
@@ -213,7 +227,10 @@ impl AirBtb {
             if bundle.entries.len() < self.bundle_entries {
                 bundle.entries.push(BundleEntry::from_predecode(b));
             } else if let Some(of) = &mut self.overflow {
-                of.insert(block.instr(b.offset as usize).raw(), BundleEntry::from_predecode(b));
+                of.insert(
+                    block.instr(b.offset as usize).raw(),
+                    BundleEntry::from_predecode(b),
+                );
             }
         }
         bundle
@@ -263,7 +280,9 @@ impl AirBtb {
 
     /// Installs a whole block eagerly via the oracle (SpatialLocality mode).
     fn eager_install(&mut self, block: BlockAddr) {
-        let Some(oracle) = self.oracle.clone() else { return };
+        let Some(oracle) = self.oracle.clone() else {
+            return;
+        };
         let branches: Vec<PredecodedBranch> = oracle.branches_in_block(block).to_vec();
         let bundle = self.build_bundle(block, &branches);
         self.install_bundle(block, bundle);
@@ -410,9 +429,10 @@ impl BtbDesign for AirBtb {
         // Bundle: block tag + valid + 16-bit bitmap + entries of
         // (4-bit offset, 2-bit type, 30-bit target).
         let tag = tag_bits(self.bundles, 4, 6) as u64;
-        let bundle_bits = tag + 1 + INSTRS_PER_BLOCK as u64 + self.bundle_entries as u64 * (4 + 2 + 30);
-        let mut p = StorageProfile::empty()
-            .with_array("AirBTB bundles", self.bundles as u64 * bundle_bits);
+        let bundle_bits =
+            tag + 1 + INSTRS_PER_BLOCK as u64 + self.bundle_entries as u64 * (4 + 2 + 30);
+        let mut p =
+            StorageProfile::empty().with_array("AirBTB bundles", self.bundles as u64 * bundle_bits);
         if self.overflow_entries > 0 {
             // Overflow entries carry the full instruction-grain tag.
             let of_bits = 1 + (confluence_types::VADDR_BITS as u64 - 2) + 2 + 30;
@@ -460,8 +480,16 @@ mod tests {
 
     fn branches_5() -> Vec<PredecodedBranch> {
         let mut b = branches_3();
-        b.push(PredecodedBranch::direct(11, BranchKind::Unconditional, VAddr::new(0x9200)));
-        b.push(PredecodedBranch::direct(14, BranchKind::Conditional, VAddr::new(0x9300)));
+        b.push(PredecodedBranch::direct(
+            11,
+            BranchKind::Unconditional,
+            VAddr::new(0x9200),
+        ));
+        b.push(PredecodedBranch::direct(
+            14,
+            BranchKind::Conditional,
+            VAddr::new(0x9300),
+        ));
         b
     }
 
@@ -519,7 +547,10 @@ mod tests {
         // must not resurrect stale entries... re-fill and verify bitmap path.
         btb.on_l1i_fill(block, &branches_3());
         let o = btb.lookup(block.base(), block.instr(14));
-        assert!(!o.hit, "offset 14 is no longer predecoded; stale overflow must be swept");
+        assert!(
+            !o.hit,
+            "offset 14 is no longer predecoded; stale overflow must be swept"
+        );
     }
 
     #[test]
@@ -590,8 +621,9 @@ mod tests {
         // holds.
         let mut sync = AirBtb::new(AirBtbMode::Full, 512, 3, 0);
         let mut standalone = AirBtb::new(AirBtbMode::Prefetching, 512, 3, 0);
-        let colliding: Vec<BlockAddr> =
-            (0..6).map(|i| BlockAddr::from_raw(0x40 + i * 128)).collect();
+        let colliding: Vec<BlockAddr> = (0..6)
+            .map(|i| BlockAddr::from_raw(0x40 + i * 128))
+            .collect();
         for &b in &colliding {
             sync.on_l1i_fill(b, &branches_3());
             standalone.on_l1i_fill(b, &branches_3());
@@ -612,10 +644,17 @@ mod tests {
 
     #[test]
     fn four_entry_bundles_cost_about_2kb_more() {
-        let b3 = AirBtb::new(AirBtbMode::Full, 512, 3, 32).storage().dedicated_kib();
-        let b4 = AirBtb::new(AirBtbMode::Full, 512, 4, 32).storage().dedicated_kib();
+        let b3 = AirBtb::new(AirBtbMode::Full, 512, 3, 32)
+            .storage()
+            .dedicated_kib();
+        let b4 = AirBtb::new(AirBtbMode::Full, 512, 4, 32)
+            .storage()
+            .dedicated_kib();
         let delta = b4 - b3;
-        assert!((1.5..3.0).contains(&delta), "B:4 adds {delta} KiB (paper: ~2 KB)");
+        assert!(
+            (1.5..3.0).contains(&delta),
+            "B:4 adds {delta} KiB (paper: ~2 KB)"
+        );
     }
 
     #[test]

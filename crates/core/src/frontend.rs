@@ -201,7 +201,10 @@ mod tests {
         }
         let warm_misses = fe.l1i().misses();
         let warm_hits = fe.l1i().hits();
-        assert!(warm_hits > warm_misses * 5, "hits {warm_hits} misses {warm_misses}");
+        assert!(
+            warm_hits > warm_misses * 5,
+            "hits {warm_hits} misses {warm_misses}"
+        );
     }
 
     #[test]
@@ -243,7 +246,10 @@ mod tests {
             let branches = program.branches_in_block(b);
             if let Some(first) = branches.first() {
                 let pc = b.instr(first.offset as usize);
-                assert!(fe.airbtb_mut().lookup(b.base(), pc).hit, "block {b} lost its bundle");
+                assert!(
+                    fe.airbtb_mut().lookup(b.base(), pc).hit,
+                    "block {b} lost its bundle"
+                );
                 checked += 1;
             }
         }

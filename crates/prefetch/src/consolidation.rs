@@ -48,7 +48,10 @@ impl ConsolidatedHistories {
     /// Panics if `entries_per_instance` is zero.
     pub fn new(entries_per_instance: usize) -> Self {
         assert!(entries_per_instance > 0, "history capacity must be nonzero");
-        ConsolidatedHistories { instances: HashMap::new(), entries_per_instance }
+        ConsolidatedHistories {
+            instances: HashMap::new(),
+            entries_per_instance,
+        }
     }
 
     /// Read access to a workload's history (created empty if absent).
@@ -68,7 +71,9 @@ impl ConsolidatedHistories {
     /// Mutable access to a workload's history, allocating it on first use.
     pub fn history_mut(&mut self, workload: u32) -> &mut ShiftHistory {
         let cap = self.entries_per_instance;
-        self.instances.entry(workload).or_insert_with(|| ShiftHistory::with_capacity(cap))
+        self.instances
+            .entry(workload)
+            .or_insert_with(|| ShiftHistory::with_capacity(cap))
     }
 
     /// Number of live instances.
@@ -107,7 +112,10 @@ mod tests {
         // Workload 0's stream is invisible to workload 1 and vice versa.
         assert!(set.history(0).lookup(BlockAddr::from_raw(1_000)).is_some());
         assert!(set.history(1).lookup(BlockAddr::from_raw(1_000)).is_none());
-        assert!(set.history(1).lookup(BlockAddr::from_raw(900_000)).is_some());
+        assert!(set
+            .history(1)
+            .lookup(BlockAddr::from_raw(900_000))
+            .is_some());
     }
 
     #[test]

@@ -35,4 +35,6 @@ mod shift;
 
 pub use consolidation::ConsolidatedHistories;
 pub use fdp::Fdp;
-pub use shift::{ShiftEngine, ShiftHistory, StreamCursor, DEFAULT_HISTORY_ENTRIES, DEFAULT_LOOKAHEAD};
+pub use shift::{
+    ShiftEngine, ShiftHistory, StreamCursor, DEFAULT_HISTORY_ENTRIES, DEFAULT_LOOKAHEAD,
+};

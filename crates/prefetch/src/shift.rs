@@ -131,7 +131,10 @@ impl ShiftHistory {
                 }
             }
         }
-        self.buffer[pos] = HistoryEntry { base: block, mask: 0 };
+        self.buffer[pos] = HistoryEntry {
+            base: block,
+            mask: 0,
+        };
         self.index.insert(block, self.head_seq);
         self.head_seq += 1;
     }
@@ -156,7 +159,11 @@ impl ShiftHistory {
         }
         // Start within the found entry so the rest of its footprint (the
         // blocks after `block`) replays too.
-        Some(StreamCursor { next_seq: seq, offset: 0, skip_through: Some(block) })
+        Some(StreamCursor {
+            next_seq: seq,
+            offset: 0,
+            skip_through: Some(block),
+        })
     }
 
     /// Reads the next predicted block under `cursor` and advances it.
@@ -172,7 +179,11 @@ impl ShiftHistory {
             // Walk the entry's covered blocks from the cursor's offset.
             let blocks: Vec<BlockAddr> = entry.blocks().collect();
             let start = match cursor.skip_through {
-                Some(after) => blocks.iter().position(|&b| b == after).map(|p| p + 1).unwrap_or(0),
+                Some(after) => blocks
+                    .iter()
+                    .position(|&b| b == after)
+                    .map(|p| p + 1)
+                    .unwrap_or(0),
                 None => cursor.offset as usize,
             };
             if let Some(&b) = blocks.get(start) {
@@ -305,7 +316,9 @@ impl ShiftEngine {
 
     /// Tops up the pending queue to the lookahead depth from the cursor.
     fn refill(&mut self, history: &ShiftHistory, out: &mut Vec<BlockAddr>) {
-        let Some(cursor) = &mut self.cursor else { return };
+        let Some(cursor) = &mut self.cursor else {
+            return;
+        };
         while self.pending.len() < self.lookahead {
             match history.read(cursor) {
                 Some(b) => {
@@ -466,16 +479,29 @@ mod tests {
         let h = ShiftHistory::new_32k();
         let p = h.storage();
         // Paper: 204 KB history (LLC-resident) + ~240 KB index (tag array).
-        assert!((190_000..230_000).contains(&(p.llc_resident_bytes as usize)),
-            "history bytes {}", p.llc_resident_bytes);
-        assert!((200_000..280_000).contains(&(p.llc_tag_extension_bytes as usize)),
-            "index bytes {}", p.llc_tag_extension_bytes);
-        assert_eq!(p.dedicated_bits(), 0, "SHIFT adds no dedicated per-core SRAM");
+        assert!(
+            (190_000..230_000).contains(&(p.llc_resident_bytes as usize)),
+            "history bytes {}",
+            p.llc_resident_bytes
+        );
+        assert!(
+            (200_000..280_000).contains(&(p.llc_tag_extension_bytes as usize)),
+            "index bytes {}",
+            p.llc_tag_extension_bytes
+        );
+        assert_eq!(
+            p.dedicated_bits(),
+            0,
+            "SHIFT adds no dedicated per-core SRAM"
+        );
     }
 
     #[test]
     fn footprint_entry_covers_base_and_masked_followers() {
-        let e = HistoryEntry { base: BlockAddr::from_raw(100), mask: 0b0000_0101 };
+        let e = HistoryEntry {
+            base: BlockAddr::from_raw(100),
+            mask: 0b0000_0101,
+        };
         assert!(e.covers(BlockAddr::from_raw(100)));
         assert!(e.covers(BlockAddr::from_raw(101)));
         assert!(!e.covers(BlockAddr::from_raw(102)));

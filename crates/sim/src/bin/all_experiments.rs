@@ -1,19 +1,76 @@
-//! Runs every table/figure reproduction and prints the full suite.
+//! Runs every table/figure reproduction through one shared [`SimEngine`]
+//! and prints the full suite.
 //!
-//! Usage: `all_experiments [--quick] [--csv] [--markdown]`
+//! All figures' jobs are batched and executed on the engine's worker pool
+//! first, with each unique `(workload, design/BTB-spec, options)`
+//! simulation run exactly once across the whole suite; the figures then
+//! format from the warm cache. `--compare-serial` re-runs the same batch
+//! on a fresh single-threaded engine and reports the wall-clock speedup.
+//!
+//! Usage: `all_experiments [--quick] [--csv] [--markdown] [--serial]
+//! [--compare-serial] [--threads N]`
+
+use std::time::Instant;
 
 use confluence_sim::experiments::{self, ExperimentConfig};
 use confluence_sim::report::Report;
+use confluence_sim::SimEngine;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
     let md = args.iter().any(|a| a == "--markdown");
-    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
+    let serial = args.iter().any(|a| a == "--serial");
+    let compare = args.iter().any(|a| a == "--compare-serial");
+    let threads = match args.iter().position(|a| a == "--threads") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) => Some(n),
+            None => {
+                eprintln!("error: --threads requires an integer value");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    if serial && threads.is_some() {
+        eprintln!("error: --serial and --threads are mutually exclusive");
+        std::process::exit(2);
+    }
+    let cfg = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::full()
+    };
 
     eprintln!("generating workloads...");
-    let ws = cfg.workloads();
+    let mut engine = cfg.engine();
+    if serial {
+        engine = engine.with_threads(1);
+    } else if let Some(n) = threads {
+        engine = engine.with_threads(n);
+    }
+
+    let jobs = experiments::all_jobs(&engine, &cfg);
+    let unique = experiments::unique_jobs(&jobs);
+    eprintln!(
+        "running {} unique simulations ({} requested across figures) on {} thread(s)...",
+        unique,
+        jobs.len(),
+        engine.threads()
+    );
+    let start = Instant::now();
+    engine.run(&jobs);
+    let elapsed = start.elapsed();
+    let stats = engine.stats();
+    assert_eq!(
+        stats.executed, unique as u64,
+        "engine must execute each unique simulation exactly once"
+    );
+    eprintln!(
+        "engine: executed {} simulations in {:.2?} ({} requests, {} cache hits)",
+        stats.executed, elapsed, stats.requests, stats.hits
+    );
 
     let emit = |r: &Report| {
         if csv {
@@ -25,16 +82,35 @@ fn main() {
         }
     };
 
-    eprintln!("running functional coverage experiments...");
-    emit(&experiments::fig1(&ws, &cfg));
-    emit(&experiments::table2(&ws, &cfg));
-    emit(&experiments::fig8(&ws, &cfg));
-    emit(&experiments::fig9(&ws, &cfg));
-    emit(&experiments::fig10(&ws, &cfg));
-    emit(&experiments::l1i_coverage(&ws, &cfg));
+    emit(&experiments::fig1(&engine, &cfg));
+    emit(&experiments::table2(&engine, &cfg));
+    emit(&experiments::fig8(&engine, &cfg));
+    emit(&experiments::fig9(&engine, &cfg));
+    emit(&experiments::fig10(&engine, &cfg));
+    emit(&experiments::l1i_coverage(&engine, &cfg));
     emit(&experiments::area_table());
-    eprintln!("running timing experiments (figures 2, 6, 7)...");
-    emit(&experiments::fig2(&ws, &cfg));
-    emit(&experiments::fig6(&ws, &cfg));
-    emit(&experiments::fig7(&ws, &cfg));
+    emit(&experiments::fig2(&engine, &cfg));
+    emit(&experiments::fig6(&engine, &cfg));
+    emit(&experiments::fig7(&engine, &cfg));
+
+    let final_stats = engine.stats();
+    assert_eq!(
+        final_stats.executed, unique as u64,
+        "formatting must be pure cache hits"
+    );
+
+    if compare && !serial {
+        eprintln!("re-running the batch serially for comparison...");
+        let reference = SimEngine::new(engine.workloads().to_vec()).with_threads(1);
+        let start = Instant::now();
+        reference.run(&jobs);
+        let serial_elapsed = start.elapsed();
+        eprintln!(
+            "serial: {:.2?}; parallel: {:.2?}; speedup {:.2}x on {} threads",
+            serial_elapsed,
+            elapsed,
+            serial_elapsed.as_secs_f64() / elapsed.as_secs_f64(),
+            engine.threads()
+        );
+    }
 }

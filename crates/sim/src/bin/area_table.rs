@@ -5,5 +5,9 @@ use confluence_sim::experiments;
 fn main() {
     let csv = std::env::args().any(|a| a == "--csv");
     let r = experiments::area_table();
-    if csv { println!("{}", r.to_csv()); } else { println!("{}", r.to_table()); }
+    if csv {
+        println!("{}", r.to_csv());
+    } else {
+        println!("{}", r.to_table());
+    }
 }

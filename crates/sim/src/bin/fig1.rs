@@ -1,4 +1,5 @@
-//! Regenerates the paper's fig1 result. Usage: `fig1 [--quick] [--csv]`.
+//! Regenerates the paper's fig1 result through a [`confluence_sim::SimEngine`].
+//! Usage: `fig1 [--quick] [--csv]`.
 
 use confluence_sim::experiments::{self, ExperimentConfig};
 
@@ -6,8 +7,16 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
-    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
-    let ws = cfg.workloads();
-    let r = experiments::fig1(&ws, &cfg);
-    if csv { println!("{}", r.to_csv()); } else { println!("{}", r.to_table()); }
+    let cfg = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::full()
+    };
+    let engine = cfg.engine();
+    let r = experiments::fig1(&engine, &cfg);
+    if csv {
+        println!("{}", r.to_csv());
+    } else {
+        println!("{}", r.to_table());
+    }
 }

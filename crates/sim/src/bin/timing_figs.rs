@@ -1,7 +1,9 @@
-//! Regenerates the three timing figures (2, 6, 7) in one pass, reusing the
-//! generated workloads. Usage: `timing_figs [--quick] [--csv|--markdown]`.
+//! Regenerates the three timing figures (2, 6, 7) in one pass over a
+//! shared engine: the batched job set is deduplicated, so the Baseline and
+//! every design point shared between the figures is simulated once.
+//! Usage: `timing_figs [--quick] [--csv|--markdown]`.
 
-use confluence_sim::experiments::{self, ExperimentConfig};
+use confluence_sim::experiments::{self, ExperimentConfig, FIG2_DESIGNS, FIG6_DESIGNS};
 use confluence_sim::report::Report;
 
 fn main() {
@@ -9,8 +11,27 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
     let md = args.iter().any(|a| a == "--markdown");
-    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
-    let ws = cfg.workloads();
+    let cfg = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::full()
+    };
+    let engine = cfg.engine();
+
+    // Batch all three figures' jobs so shared design points run once.
+    let mut jobs = experiments::fig_perf_area_jobs(&engine, &FIG2_DESIGNS, &cfg);
+    jobs.extend(experiments::fig_perf_area_jobs(
+        &engine,
+        &FIG6_DESIGNS,
+        &cfg,
+    ));
+    jobs.extend(experiments::fig7_jobs(&engine, &cfg));
+    engine.run(&jobs);
+    eprintln!(
+        "engine: {} unique timing simulations for 3 figures",
+        engine.stats().executed
+    );
+
     let emit = |r: &Report| {
         if csv {
             println!("{}", r.to_csv());
@@ -20,7 +41,7 @@ fn main() {
             println!("{}", r.to_table());
         }
     };
-    emit(&experiments::fig2(&ws, &cfg));
-    emit(&experiments::fig6(&ws, &cfg));
-    emit(&experiments::fig7(&ws, &cfg));
+    emit(&experiments::fig2(&engine, &cfg));
+    emit(&experiments::fig6(&engine, &cfg));
+    emit(&experiments::fig7(&engine, &cfg));
 }

@@ -13,7 +13,11 @@ use confluence_types::{PredecodeSource, VAddr};
 use confluence_uarch::L1ICache;
 
 /// Options for a functional coverage run.
-#[derive(Clone, Debug)]
+///
+/// `Eq`/`Hash` let the options participate in [`crate::CoverageJob`] cache
+/// keys: two runs with equal options (and equal program + BTB spec) are
+/// interchangeable.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CoverageOptions {
     /// Instructions executed before counters start.
     pub warmup_instrs: u64,
@@ -43,7 +47,11 @@ impl Default for CoverageOptions {
 impl CoverageOptions {
     /// A fast configuration for unit tests.
     pub fn quick() -> Self {
-        CoverageOptions { warmup_instrs: 200_000, measure_instrs: 400_000, ..Default::default() }
+        CoverageOptions {
+            warmup_instrs: 200_000,
+            measure_instrs: 400_000,
+            ..Default::default()
+        }
     }
 
     /// Enables SHIFT prefetching.
@@ -210,6 +218,21 @@ pub fn run_coverage(
     result
 }
 
+/// Runs the functional harness with a freshly built BTB.
+///
+/// This is the `Send`-friendly entry point used by the experiment engine:
+/// instead of threading externally owned `&mut dyn BtbDesign` state through
+/// the call, the job supplies a factory and the whole simulation is
+/// self-contained — exactly what makes job-level parallelism safe.
+pub fn run_coverage_with(
+    program: &Program,
+    make_btb: impl FnOnce() -> Box<dyn BtbDesign>,
+    opts: &CoverageOptions,
+) -> CoverageResult {
+    let mut btb = make_btb();
+    run_coverage(program, &mut *btb, opts)
+}
+
 /// Table 2's branch-density characterization: mean static branches per
 /// demand-fetched block, and mean distinct taken branches executed during a
 /// block's L1-I residency ("dynamic").
@@ -255,8 +278,16 @@ pub fn branch_density(program: &Program, instrs: u64, seed: u64) -> (f64, f64) {
         dyn_sum += set.len() as u64;
         dyn_n += 1;
     }
-    let stat = if static_n == 0 { 0.0 } else { static_sum as f64 / static_n as f64 };
-    let dynamic = if dyn_n == 0 { 0.0 } else { dyn_sum as f64 / dyn_n as f64 };
+    let stat = if static_n == 0 {
+        0.0
+    } else {
+        static_sum as f64 / static_n as f64
+    };
+    let dynamic = if dyn_n == 0 {
+        0.0
+    } else {
+        dyn_sum as f64 / dyn_n as f64
+    };
     (stat, dynamic)
 }
 
@@ -318,7 +349,12 @@ mod tests {
         let mut air = AirBtb::paper_config();
         let ra = run_coverage(&p, &mut air, &CoverageOptions::quick().with_shift());
         let cov = ra.btb_miss_coverage_vs(&rb);
-        assert!(cov > 0.5, "AirBTB coverage {cov} (misses {} vs {})", ra.btb_misses, rb.btb_misses);
+        assert!(
+            cov > 0.5,
+            "AirBTB coverage {cov} (misses {} vs {})",
+            ra.btb_misses,
+            rb.btb_misses
+        );
     }
 
     #[test]

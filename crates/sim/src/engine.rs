@@ -1,0 +1,394 @@
+//! The parallel memoizing experiment engine.
+//!
+//! [`SimEngine`] owns the generated workload programs (shared via `Arc`,
+//! never cloned) and a content-keyed result cache. Figures declare the
+//! [`Job`]s they need; the engine executes each *unique* job exactly once —
+//! on a scoped worker pool when batched through [`SimEngine::run`], or
+//! inline on first demand — and every later request for the same key is a
+//! cache hit. Requests that race an in-flight execution block on that
+//! execution instead of recomputing.
+//!
+//! Jobs are pure functions of their key (the simulators are deterministic
+//! and each job builds its own structures from a [`crate::BtbSpec`]
+//! factory), so parallel and serial execution produce byte-identical
+//! results; `engine_determinism` in the integration suite asserts this.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use confluence_trace::{Program, Workload};
+
+use crate::cmp::{simulate_cmp, TimingResult};
+use crate::coverage::{branch_density, run_coverage_with, CoverageResult};
+use crate::job::{CoverageJob, DensityJob, Job, JobOutput, TimingJob};
+
+/// Snapshot of the engine's cache accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total job requests served (executions + hits).
+    pub requests: u64,
+    /// Unique jobs actually simulated.
+    pub executed: u64,
+    /// Requests satisfied from the cache (or by waiting on an in-flight
+    /// execution of the same key).
+    pub hits: u64,
+}
+
+/// What a filled cache slot holds: the job's output, or a record that the
+/// executing thread panicked — waiters re-panic instead of deadlocking.
+type SlotResult = Result<Arc<JobOutput>, String>;
+
+/// One cache slot: filled exactly once, then read forever. Requests that
+/// find the slot before its result is ready wait on the condvar.
+struct Slot {
+    ready: Mutex<Option<SlotResult>>,
+    cond: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            ready: Mutex::new(None),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, result: SlotResult) {
+        *self.ready.lock().expect("slot poisoned") = Some(result);
+        self.cond.notify_all();
+    }
+}
+
+/// Parallel memoizing executor for simulation jobs.
+pub struct SimEngine {
+    workloads: Vec<(Workload, Arc<Program>)>,
+    threads: usize,
+    cache: Mutex<HashMap<Job, Arc<Slot>>>,
+    requests: AtomicU64,
+    executed: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl SimEngine {
+    /// Creates an engine over the given workload programs, sized to the
+    /// host's available parallelism.
+    pub fn new(workloads: Vec<(Workload, Arc<Program>)>) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        SimEngine {
+            workloads,
+            threads,
+            cache: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Overrides the worker-pool width. `1` forces serial execution (the
+    /// reference path for determinism checks and speedup baselines).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The worker-pool width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The workload programs, in presentation order.
+    pub fn workloads(&self) -> &[(Workload, Arc<Program>)] {
+        &self.workloads
+    }
+
+    /// The program generated for `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was not built with that workload.
+    pub fn program(&self, workload: Workload) -> &Arc<Program> {
+        self.workloads
+            .iter()
+            .find(|(w, _)| *w == workload)
+            .map(|(_, p)| p)
+            .unwrap_or_else(|| panic!("engine has no program for workload {workload:?}"))
+    }
+
+    /// Current cache accounting.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Executes a batch of jobs on the worker pool. Duplicate keys within
+    /// the batch are collapsed first; keys already cached are hits. Returns
+    /// once every job's result is cached, so subsequent per-job accessors
+    /// are pure lookups.
+    pub fn run(&self, jobs: &[Job]) {
+        let mut deduped: Vec<&Job> = Vec::with_capacity(jobs.len());
+        let mut seen = std::collections::HashSet::with_capacity(jobs.len());
+        for job in jobs {
+            if seen.insert(job) {
+                deduped.push(job);
+            }
+        }
+        // Drop jobs whose results are already cached — the warm path pays
+        // no worker spawn/join for what amounts to pure cache reads. Keys
+        // that are merely in flight stay in the batch so `run` still
+        // returns only once their results land.
+        let unique: Vec<&Job> = {
+            let cache = self.cache.lock().expect("engine cache poisoned");
+            deduped
+                .into_iter()
+                .filter(|job| match cache.get(*job) {
+                    Some(slot) => slot.ready.lock().expect("slot poisoned").is_none(),
+                    None => true,
+                })
+                .collect()
+        };
+        if unique.is_empty() {
+            return;
+        }
+        let workers = self.threads.min(unique.len()).max(1);
+        if workers == 1 {
+            for job in unique {
+                self.fetch(job);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = unique.get(i) else { break };
+                    self.fetch(job);
+                });
+            }
+        });
+    }
+
+    /// Result of a coverage job (computed now if absent).
+    pub fn coverage(&self, job: &CoverageJob) -> CoverageResult {
+        match &*self.fetch(&Job::Coverage(job.clone())) {
+            JobOutput::Coverage(r) => *r,
+            other => unreachable!("coverage job produced {other:?}"),
+        }
+    }
+
+    /// Result of a timing job (computed now if absent), shared straight
+    /// out of the cache.
+    pub fn timing(&self, job: &TimingJob) -> Arc<TimingResult> {
+        match &*self.fetch(&Job::Timing(job.clone())) {
+            JobOutput::Timing(r) => Arc::clone(r),
+            other => unreachable!("timing job produced {other:?}"),
+        }
+    }
+
+    /// `(static, dynamic)` densities of a density job (computed now if
+    /// absent).
+    pub fn density(&self, job: &DensityJob) -> (f64, f64) {
+        match &*self.fetch(&Job::Density(job.clone())) {
+            JobOutput::Density(s, d) => (*s, *d),
+            other => unreachable!("density job produced {other:?}"),
+        }
+    }
+
+    /// Memoized fetch: the first request for a key claims it and executes;
+    /// concurrent requests for the same key wait for that execution;
+    /// later requests read the cached result.
+    fn fetch(&self, job: &Job) -> Arc<JobOutput> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let (slot, claimed) = {
+            let mut cache = self.cache.lock().expect("engine cache poisoned");
+            match cache.entry(job.clone()) {
+                Entry::Occupied(e) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    (Arc::clone(e.get()), false)
+                }
+                Entry::Vacant(v) => {
+                    let slot = Arc::new(Slot::new());
+                    v.insert(Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if claimed {
+            // Catch panics so racing waiters on this key re-panic instead
+            // of blocking forever on a slot that will never fill.
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute(job)));
+            match outcome {
+                Ok(output) => {
+                    let out = Arc::new(output);
+                    self.executed.fetch_add(1, Ordering::Relaxed);
+                    slot.fill(Ok(Arc::clone(&out)));
+                    out
+                }
+                Err(panic) => {
+                    let msg = panic_message(&panic);
+                    slot.fill(Err(format!("job {job:?} panicked: {msg}")));
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        } else {
+            let mut ready = slot.ready.lock().expect("slot poisoned");
+            while ready.is_none() {
+                ready = slot.cond.wait(ready).expect("slot poisoned");
+            }
+            match ready.as_ref().expect("checked above") {
+                Ok(out) => Arc::clone(out),
+                Err(msg) => panic!("waited-on {msg}"),
+            }
+        }
+    }
+
+    fn execute(&self, job: &Job) -> JobOutput {
+        match job {
+            Job::Coverage(c) => {
+                let program = self.program(c.workload);
+                JobOutput::Coverage(run_coverage_with(program, || c.btb.build(program), &c.opts))
+            }
+            Job::Timing(t) => {
+                let program = self.program(t.workload);
+                JobOutput::Timing(Arc::new(simulate_cmp(program, t.design, &t.cfg)))
+            }
+            Job::Density(d) => {
+                let program = self.program(d.workload);
+                let (s, dy) = branch_density(program, d.instrs, d.seed);
+                JobOutput::Density(s, dy)
+            }
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::CoverageOptions;
+    use crate::designs::DesignPoint;
+    use crate::job::BtbSpec;
+    use crate::TimingConfig;
+    use confluence_trace::WorkloadSpec;
+    use confluence_uarch::MemParams;
+
+    fn tiny_engine() -> SimEngine {
+        let program = Arc::new(Program::generate(&WorkloadSpec::tiny()).expect("valid spec"));
+        SimEngine::new(vec![(Workload::WebFrontend, program)])
+    }
+
+    fn tiny_opts() -> CoverageOptions {
+        CoverageOptions {
+            warmup_instrs: 20_000,
+            measure_instrs: 40_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn repeated_requests_execute_once() {
+        let engine = tiny_engine();
+        let job = CoverageJob {
+            workload: Workload::WebFrontend,
+            btb: BtbSpec::Baseline1k,
+            opts: tiny_opts(),
+        };
+        let a = engine.coverage(&job);
+        let b = engine.coverage(&job);
+        assert_eq!(a, b);
+        let stats = engine.stats();
+        assert_eq!(stats.executed, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.requests, 2);
+    }
+
+    #[test]
+    fn batch_collapses_duplicates_across_job_kinds() {
+        let engine = tiny_engine().with_threads(4);
+        let cov: Job = CoverageJob {
+            workload: Workload::WebFrontend,
+            btb: BtbSpec::Baseline1k,
+            opts: tiny_opts(),
+        }
+        .into();
+        let timing: Job = TimingJob {
+            workload: Workload::WebFrontend,
+            design: DesignPoint::Baseline,
+            cfg: TimingConfig {
+                cores: 2,
+                warmup_instrs: 20_000,
+                measure_instrs: 20_000,
+                mem: MemParams {
+                    cores: 4,
+                    ..MemParams::default()
+                },
+                ..TimingConfig::default()
+            },
+        }
+        .into();
+        let density: Job = DensityJob {
+            workload: Workload::WebFrontend,
+            instrs: 50_000,
+            seed: 3,
+        }
+        .into();
+        let batch: Vec<Job> = vec![
+            cov.clone(),
+            timing.clone(),
+            density.clone(),
+            cov.clone(),
+            timing.clone(),
+            density,
+        ];
+        engine.run(&batch);
+        assert_eq!(engine.stats().executed, 3, "duplicates must collapse");
+        // A second identical batch is all hits.
+        engine.run(&batch);
+        assert_eq!(engine.stats().executed, 3);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let program = Arc::new(Program::generate(&WorkloadSpec::tiny()).expect("valid spec"));
+        let parallel =
+            SimEngine::new(vec![(Workload::WebFrontend, Arc::clone(&program))]).with_threads(4);
+        let serial = SimEngine::new(vec![(Workload::WebFrontend, program)]).with_threads(1);
+        let jobs: Vec<Job> = [BtbSpec::Baseline1k, BtbSpec::Large16k, BtbSpec::Perfect]
+            .into_iter()
+            .map(|btb| {
+                CoverageJob {
+                    workload: Workload::WebFrontend,
+                    btb,
+                    opts: tiny_opts(),
+                }
+                .into()
+            })
+            .collect();
+        parallel.run(&jobs);
+        serial.run(&jobs);
+        for job in &jobs {
+            let Job::Coverage(c) = job else {
+                unreachable!()
+            };
+            assert_eq!(parallel.coverage(c), serial.coverage(c));
+        }
+    }
+}

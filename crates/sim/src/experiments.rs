@@ -1,22 +1,36 @@
 //! Experiment runners: one function per table/figure of the paper.
 //!
-//! Every runner regenerates the same rows/series the paper reports and
-//! returns them as a [`Report`]. The `all_experiments` binary chains them
-//! and emits an EXPERIMENTS.md-style summary with the paper's published
-//! values alongside the measured ones.
+//! Each figure is split into two pure halves that meet at the
+//! [`SimEngine`](crate::SimEngine) cache:
+//!
+//! - a **job builder** (`fig8_jobs`, …) declaring the unique simulations
+//!   the figure needs as content-keyed [`Job`]s;
+//! - a **formatter** (`fig8`, …) that reads the cached results and lays
+//!   out the same rows/series the paper reports as a [`Report`].
+//!
+//! Formatters fetch through the engine, so calling one directly still
+//! works — missing jobs are computed on demand — but batching the jobs
+//! first (`engine.run(&all_jobs(..))`, as the `all_experiments` binary
+//! does) executes everything on the worker pool with each unique
+//! simulation run exactly once across all figures: the 1K-baseline
+//! coverage run is shared by Figures 8/9/10 and the L1-I table, and the
+//! Baseline timing run is shared by Figures 2/6/7 and each figure's own
+//! normalization row.
 
 use std::sync::Arc;
 
 use confluence_area::AreaModel;
-use confluence_btb::{ConventionalBtb, PhantomBtb};
-use confluence_core::{AirBtb, AirBtbMode};
 use confluence_trace::{Program, Workload};
 use confluence_uarch::MemParams;
 
-use crate::cmp::{simulate_cmp, TimingConfig};
-use crate::coverage::{branch_density, run_coverage, CoverageOptions, CoverageResult};
+use crate::cmp::TimingConfig;
+use crate::coverage::CoverageOptions;
 use crate::designs::DesignPoint;
+use crate::engine::SimEngine;
+use crate::job::{BtbSpec, CoverageJob, DensityJob, Job, TimingJob};
 use crate::report::{f, pct, Report};
+
+use confluence_core::AirBtbMode;
 
 /// Shared experiment configuration.
 #[derive(Clone, Debug)]
@@ -40,7 +54,11 @@ impl ExperimentConfig {
     /// Coverage-harness options for this configuration.
     pub fn coverage(&self) -> CoverageOptions {
         if self.quick {
-            CoverageOptions { warmup_instrs: 300_000, measure_instrs: 500_000, ..Default::default() }
+            CoverageOptions {
+                warmup_instrs: 300_000,
+                measure_instrs: 500_000,
+                ..Default::default()
+            }
         } else {
             CoverageOptions {
                 warmup_instrs: 1_500_000,
@@ -57,7 +75,10 @@ impl ExperimentConfig {
                 cores: 4,
                 warmup_instrs: 120_000,
                 measure_instrs: 120_000,
-                mem: MemParams { cores: 4, ..MemParams::default() },
+                mem: MemParams {
+                    cores: 4,
+                    ..MemParams::default()
+                },
                 ..TimingConfig::default()
             }
         } else {
@@ -65,14 +86,27 @@ impl ExperimentConfig {
                 cores: 8,
                 warmup_instrs: 200_000,
                 measure_instrs: 250_000,
-                mem: MemParams { cores: 16, ..MemParams::default() },
+                mem: MemParams {
+                    cores: 16,
+                    ..MemParams::default()
+                },
                 ..TimingConfig::default()
             }
         }
     }
 
-    /// Generates the five paper workloads (scaled down in quick mode).
-    pub fn workloads(&self) -> Vec<(Workload, Program)> {
+    /// Instructions walked by the Table 2 density characterization.
+    pub fn density_instrs(&self) -> u64 {
+        if self.quick {
+            600_000
+        } else {
+            3_000_000
+        }
+    }
+
+    /// Generates the five paper workloads (scaled down in quick mode),
+    /// shared via `Arc` so every job reads one copy.
+    pub fn workloads(&self) -> Vec<(Workload, Arc<Program>)> {
         Workload::ALL
             .into_iter()
             .map(|w| {
@@ -80,9 +114,17 @@ impl ExperimentConfig {
                 if self.quick {
                     spec.target_code_kb /= 4;
                 }
-                (w, Program::generate(&spec).expect("preset specs are valid"))
+                (
+                    w,
+                    Arc::new(Program::generate(&spec).expect("preset specs are valid")),
+                )
             })
             .collect()
+    }
+
+    /// Builds an engine over this configuration's workloads.
+    pub fn engine(&self) -> SimEngine {
+        SimEngine::new(self.workloads())
     }
 }
 
@@ -92,19 +134,130 @@ impl Default for ExperimentConfig {
     }
 }
 
+/// The 1K-conventional-BTB coverage baseline every coverage figure
+/// normalizes against. One shared key — Figures 8, 9, 10 and the L1-I
+/// table all reuse this run.
+fn baseline_coverage_job(workload: Workload, cfg: &ExperimentConfig) -> CoverageJob {
+    CoverageJob {
+        workload,
+        btb: BtbSpec::Baseline1k,
+        opts: cfg.coverage(),
+    }
+}
+
+/// An AirBTB ablation coverage job (Figures 8 and 10). SHIFT is attached
+/// exactly when the ablation level includes prefetch-driven fill.
+fn airbtb_job(
+    workload: Workload,
+    mode: AirBtbMode,
+    bundle_entries: usize,
+    overflow_entries: usize,
+    cfg: &ExperimentConfig,
+) -> CoverageJob {
+    let opts = match mode {
+        AirBtbMode::Prefetching | AirBtbMode::Full => cfg.coverage().with_shift(),
+        _ => cfg.coverage(),
+    };
+    CoverageJob {
+        workload,
+        btb: BtbSpec::AirBtb {
+            mode,
+            bundles: confluence_core::DEFAULT_BUNDLES,
+            bundle_entries,
+            overflow_entries,
+        },
+        opts,
+    }
+}
+
+/// The Figure 9 PhantomBTB comparison point.
+fn phantom_job(workload: Workload, cfg: &ExperimentConfig) -> CoverageJob {
+    CoverageJob {
+        workload,
+        btb: BtbSpec::Phantom { llc_latency: 26 },
+        opts: cfg.coverage(),
+    }
+}
+
+/// The Figure 9 16K-conventional comparison point.
+fn large16k_job(workload: Workload, cfg: &ExperimentConfig) -> CoverageJob {
+    CoverageJob {
+        workload,
+        btb: BtbSpec::Large16k,
+        opts: cfg.coverage(),
+    }
+}
+
+/// The baseline BTB with SHIFT attached (the L1-I coverage table).
+fn shift_baseline_job(workload: Workload, cfg: &ExperimentConfig) -> CoverageJob {
+    CoverageJob {
+        workload,
+        btb: BtbSpec::Baseline1k,
+        opts: cfg.coverage().with_shift(),
+    }
+}
+
+/// One Figure 1 sweep point (`kilo` kilo-entries).
+fn fig1_job(workload: Workload, kilo: usize, cfg: &ExperimentConfig) -> CoverageJob {
+    CoverageJob {
+        workload,
+        btb: BtbSpec::Conventional {
+            entries: kilo * 1024,
+            ways: 4,
+            victim_entries: 64,
+        },
+        opts: cfg.coverage(),
+    }
+}
+
+/// The Table 2 characterization run for one workload.
+fn density_job(workload: Workload, cfg: &ExperimentConfig) -> DensityJob {
+    DensityJob {
+        workload,
+        instrs: cfg.density_instrs(),
+        seed: 3,
+    }
+}
+
+/// A timing run of one design point (Figures 2, 6, 7).
+fn timing_job(workload: Workload, design: DesignPoint, cfg: &ExperimentConfig) -> TimingJob {
+    TimingJob {
+        workload,
+        design,
+        cfg: cfg.timing(),
+    }
+}
+
+/// The Baseline timing run shared by Figures 2, 6 and 7 (normalization
+/// denominator and the Baseline row itself).
+fn baseline_timing_job(workload: Workload, cfg: &ExperimentConfig) -> TimingJob {
+    timing_job(workload, DesignPoint::Baseline, cfg)
+}
+
+const FIG1_CAPACITIES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Jobs for Figure 1.
+pub fn fig1_jobs(engine: &SimEngine, cfg: &ExperimentConfig) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (w, _) in engine.workloads() {
+        for k in FIG1_CAPACITIES {
+            jobs.push(fig1_job(*w, k, cfg).into());
+        }
+    }
+    jobs
+}
+
 /// Figure 1: BTB MPKI as a function of BTB capacity (1K-32K entries).
-pub fn fig1(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
-    const CAPACITIES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+pub fn fig1(engine: &SimEngine, cfg: &ExperimentConfig) -> Report {
+    engine.run(&fig1_jobs(engine, cfg));
     let mut report = Report::new(
         "Figure 1: BTB MPKI vs capacity (conventional BTB, kilo-entries)",
         &["workload", "1K", "2K", "4K", "8K", "16K", "32K"],
     );
-    let opts = cfg.coverage();
-    for (w, p) in workloads {
+    for (w, _) in engine.workloads() {
         let mut cells = vec![w.name().to_string()];
-        for k in CAPACITIES {
-            let mut btb = ConventionalBtb::new("sweep", k * 1024, 4, 64).expect("valid geometry");
-            let r = run_coverage(p, &mut btb, &opts);
+        for k in FIG1_CAPACITIES {
+            let r = engine.coverage(&fig1_job(*w, k, cfg));
             cells.push(f(r.btb_mpki(), 1));
         }
         report.row(cells);
@@ -112,95 +265,128 @@ pub fn fig1(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report
     report
 }
 
+/// Jobs for Table 2.
+pub fn table2_jobs(engine: &SimEngine, cfg: &ExperimentConfig) -> Vec<Job> {
+    engine
+        .workloads()
+        .iter()
+        .map(|(w, _)| density_job(*w, cfg).into())
+        .collect()
+}
+
+/// The paper's published Table 2 `(static, dynamic)` densities, keyed by
+/// workload so the reference column stays correct for any workload subset
+/// or ordering.
+fn table2_paper_densities(workload: Workload) -> (f64, f64) {
+    match workload {
+        Workload::OltpDb2 => (3.6, 1.4),
+        Workload::OltpOracle => (2.5, 1.6),
+        Workload::DssQueries => (3.4, 1.4),
+        Workload::MediaStreaming => (3.5, 1.5),
+        Workload::WebFrontend => (4.3, 1.5),
+    }
+}
+
 /// Table 2: static and dynamic branch density in demand-fetched blocks.
-pub fn table2(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
-    // Paper values (Table 2).
-    let paper: [(f64, f64); 5] = [(3.6, 1.4), (2.5, 1.6), (3.4, 1.4), (3.5, 1.5), (4.3, 1.5)];
+pub fn table2(engine: &SimEngine, cfg: &ExperimentConfig) -> Report {
+    engine.run(&table2_jobs(engine, cfg));
     let mut report = Report::new(
         "Table 2: branch density per 64B block (measured vs paper)",
-        &["workload", "static", "static(paper)", "dynamic", "dynamic(paper)"],
+        &[
+            "workload",
+            "static",
+            "static(paper)",
+            "dynamic",
+            "dynamic(paper)",
+        ],
     );
-    let instrs = if cfg.quick { 600_000 } else { 3_000_000 };
-    for (i, (w, p)) in workloads.iter().enumerate() {
-        let (stat, dynamic) = branch_density(p, instrs, 3);
+    for (w, _) in engine.workloads() {
+        let (stat, dynamic) = engine.density(&density_job(*w, cfg));
+        let (paper_stat, paper_dyn) = table2_paper_densities(*w);
         report.row(vec![
             w.name().to_string(),
             f(stat, 2),
-            f(paper[i].0, 1),
+            f(paper_stat, 1),
             f(dynamic, 2),
-            f(paper[i].1, 1),
+            f(paper_dyn, 1),
         ]);
     }
     report
 }
 
-/// Runs the coverage harness for one AirBTB ablation mode.
-fn airbtb_coverage(
-    program: &Program,
-    mode: AirBtbMode,
-    bundle: usize,
-    overflow: usize,
-    opts: &CoverageOptions,
-) -> CoverageResult {
-    let mut btb = AirBtb::new(mode, confluence_core::DEFAULT_BUNDLES, bundle, overflow);
-    if mode == AirBtbMode::SpatialLocality {
-        btb = btb.with_oracle(Arc::new(program.clone()));
+const FIG8_LADDER: [AirBtbMode; 4] = [
+    AirBtbMode::CapacityOnly,
+    AirBtbMode::SpatialLocality,
+    AirBtbMode::Prefetching,
+    AirBtbMode::Full,
+];
+
+/// Jobs for Figure 8 (the baseline coverage run plus the ablation ladder).
+pub fn fig8_jobs(engine: &SimEngine, cfg: &ExperimentConfig) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (w, _) in engine.workloads() {
+        jobs.push(baseline_coverage_job(*w, cfg).into());
+        for mode in FIG8_LADDER {
+            jobs.push(airbtb_job(*w, mode, 3, 32, cfg).into());
+        }
     }
-    let o = match mode {
-        AirBtbMode::Prefetching | AirBtbMode::Full => opts.clone().with_shift(),
-        _ => opts.clone(),
-    };
-    run_coverage(program, &mut btb, &o)
+    jobs
 }
 
 /// Figure 8: breakdown of AirBTB miss-coverage benefits over the 1K-entry
 /// conventional BTB (Capacity, +Spatial Locality, +Prefetching,
 /// +Block-Based Organization).
-pub fn fig8(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
+pub fn fig8(engine: &SimEngine, cfg: &ExperimentConfig) -> Report {
+    engine.run(&fig8_jobs(engine, cfg));
     let mut report = Report::new(
         "Figure 8: AirBTB coverage breakdown vs 1K conventional BTB \
          (cumulative factors; paper avg: 18% / +57% / +7% / +11% = 93%)",
-        &["workload", "capacity", "+spatial", "+prefetch", "+block org (total)"],
+        &[
+            "workload",
+            "capacity",
+            "+spatial",
+            "+prefetch",
+            "+block org (total)",
+        ],
     );
-    let opts = cfg.coverage();
-    for (w, p) in workloads {
-        let mut base = ConventionalBtb::baseline_1k().expect("valid geometry");
-        let rb = run_coverage(p, &mut base, &opts);
-        let steps = [
-            airbtb_coverage(p, AirBtbMode::CapacityOnly, 3, 32, &opts),
-            airbtb_coverage(p, AirBtbMode::SpatialLocality, 3, 32, &opts),
-            airbtb_coverage(p, AirBtbMode::Prefetching, 3, 32, &opts),
-            airbtb_coverage(p, AirBtbMode::Full, 3, 32, &opts),
-        ];
-        let cov: Vec<f64> = steps.iter().map(|r| r.btb_miss_coverage_vs(&rb)).collect();
-        report.row(vec![
-            w.name().to_string(),
-            pct(cov[0]),
-            pct(cov[1]),
-            pct(cov[2]),
-            pct(cov[3]),
-        ]);
+    for (w, _) in engine.workloads() {
+        let rb = engine.coverage(&baseline_coverage_job(*w, cfg));
+        let mut cells = vec![w.name().to_string()];
+        for mode in FIG8_LADDER {
+            let r = engine.coverage(&airbtb_job(*w, mode, 3, 32, cfg));
+            cells.push(pct(r.btb_miss_coverage_vs(&rb)));
+        }
+        report.row(cells);
     }
     report
 }
 
+/// Jobs for Figure 9.
+pub fn fig9_jobs(engine: &SimEngine, cfg: &ExperimentConfig) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (w, _) in engine.workloads() {
+        jobs.push(baseline_coverage_job(*w, cfg).into());
+        jobs.push(phantom_job(*w, cfg).into());
+        jobs.push(airbtb_job(*w, AirBtbMode::Full, 3, 32, cfg).into());
+        jobs.push(large16k_job(*w, cfg).into());
+    }
+    jobs
+}
+
 /// Figure 9: BTB misses eliminated vs the 1K-entry conventional BTB for
 /// PhantomBTB, AirBTB (Confluence), and a 16K conventional BTB.
-pub fn fig9(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
+pub fn fig9(engine: &SimEngine, cfg: &ExperimentConfig) -> Report {
+    engine.run(&fig9_jobs(engine, cfg));
     let mut report = Report::new(
         "Figure 9: BTB miss coverage vs 1K conventional BTB \
          (paper avg: PhantomBTB 61%, AirBTB 93%, 16K BTB 95%)",
         &["workload", "PhantomBTB", "AirBTB", "16K BTB"],
     );
-    let opts = cfg.coverage();
-    for (w, p) in workloads {
-        let mut base = ConventionalBtb::baseline_1k().expect("valid geometry");
-        let rb = run_coverage(p, &mut base, &opts);
-        let mut ph = PhantomBtb::paper_config(26).expect("valid geometry");
-        let rp = run_coverage(p, &mut ph, &opts);
-        let ra = airbtb_coverage(p, AirBtbMode::Full, 3, 32, &opts);
-        let mut big = ConventionalBtb::large_16k().expect("valid geometry");
-        let r16 = run_coverage(p, &mut big, &opts);
+    for (w, _) in engine.workloads() {
+        let rb = engine.coverage(&baseline_coverage_job(*w, cfg));
+        let rp = engine.coverage(&phantom_job(*w, cfg));
+        let ra = engine.coverage(&airbtb_job(*w, AirBtbMode::Full, 3, 32, cfg));
+        let r16 = engine.coverage(&large16k_job(*w, cfg));
         report.row(vec![
             w.name().to_string(),
             pct(rp.btb_miss_coverage_vs(&rb)),
@@ -211,22 +397,34 @@ pub fn fig9(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report
     report
 }
 
+const FIG10_CONFIGS: [(usize, usize); 4] = [(3, 0), (3, 32), (4, 0), (4, 32)];
+
+/// Jobs for Figure 10.
+pub fn fig10_jobs(engine: &SimEngine, cfg: &ExperimentConfig) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (w, _) in engine.workloads() {
+        jobs.push(baseline_coverage_job(*w, cfg).into());
+        for (b, ob) in FIG10_CONFIGS {
+            jobs.push(airbtb_job(*w, AirBtbMode::Full, b, ob, cfg).into());
+        }
+    }
+    jobs
+}
+
 /// Figure 10: AirBTB sensitivity to bundle size (B) and overflow buffer
 /// entries (OB).
-pub fn fig10(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
+pub fn fig10(engine: &SimEngine, cfg: &ExperimentConfig) -> Report {
+    engine.run(&fig10_jobs(engine, cfg));
     let mut report = Report::new(
         "Figure 10: AirBTB miss coverage for (B, OB) configurations \
          (paper: B:3/OB:0 can be negative; B:3/OB:32 = 93%; B:4/OB:32 = +2%)",
         &["workload", "B:3,OB:0", "B:3,OB:32", "B:4,OB:0", "B:4,OB:32"],
     );
-    let opts = cfg.coverage();
-    for (w, p) in workloads {
-        let mut base = ConventionalBtb::baseline_1k().expect("valid geometry");
-        let rb = run_coverage(p, &mut base, &opts);
-        let configs = [(3usize, 0usize), (3, 32), (4, 0), (4, 32)];
+    for (w, _) in engine.workloads() {
+        let rb = engine.coverage(&baseline_coverage_job(*w, cfg));
         let mut cells = vec![w.name().to_string()];
-        for (b, ob) in configs {
-            let r = airbtb_coverage(p, AirBtbMode::Full, b, ob, &opts);
+        for (b, ob) in FIG10_CONFIGS {
+            let r = engine.coverage(&airbtb_job(*w, AirBtbMode::Full, b, ob, cfg));
             cells.push(pct(r.btb_miss_coverage_vs(&rb)));
         }
         report.row(cells);
@@ -234,19 +432,27 @@ pub fn fig10(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Repor
     report
 }
 
+/// Jobs for the L1-I coverage table.
+pub fn l1i_coverage_jobs(engine: &SimEngine, cfg: &ExperimentConfig) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (w, _) in engine.workloads() {
+        jobs.push(baseline_coverage_job(*w, cfg).into());
+        jobs.push(shift_baseline_job(*w, cfg).into());
+    }
+    jobs
+}
+
 /// Supplementary: SHIFT's L1-I miss coverage (paper Section 5.1 cites
 /// ~85-90% of L1-I misses eliminated).
-pub fn l1i_coverage(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
+pub fn l1i_coverage(engine: &SimEngine, cfg: &ExperimentConfig) -> Report {
+    engine.run(&l1i_coverage_jobs(engine, cfg));
     let mut report = Report::new(
         "SHIFT L1-I miss coverage vs no prefetching (paper: ~90%)",
         &["workload", "base L1-I MPKI", "SHIFT L1-I MPKI", "coverage"],
     );
-    let opts = cfg.coverage();
-    for (w, p) in workloads {
-        let mut a = ConventionalBtb::baseline_1k().expect("valid geometry");
-        let rb = run_coverage(p, &mut a, &opts);
-        let mut b = ConventionalBtb::baseline_1k().expect("valid geometry");
-        let rs = run_coverage(p, &mut b, &opts.clone().with_shift());
+    for (w, _) in engine.workloads() {
+        let rb = engine.coverage(&baseline_coverage_job(*w, cfg));
+        let rs = engine.coverage(&shift_baseline_job(*w, cfg));
         report.row(vec![
             w.name().to_string(),
             f(rb.l1i_mpki(), 1),
@@ -278,45 +484,69 @@ pub const FIG6_DESIGNS: [DesignPoint; 7] = [
     DesignPoint::Ideal,
 ];
 
+/// Jobs for a perf/area figure over `designs` (always including the
+/// Baseline normalization run — which *is* the Baseline row's run).
+pub fn fig_perf_area_jobs(
+    engine: &SimEngine,
+    designs: &[DesignPoint],
+    cfg: &ExperimentConfig,
+) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (w, _) in engine.workloads() {
+        jobs.push(baseline_timing_job(*w, cfg).into());
+        for &d in designs {
+            jobs.push(timing_job(*w, d, cfg).into());
+        }
+    }
+    jobs
+}
+
 /// Figures 2 and 6: relative performance and relative per-core area of the
 /// frontend designs, normalized to the baseline (geometric mean across
 /// workloads).
+///
+/// The Baseline normalization run and the Baseline row share one cache
+/// key, so the design that used to be simulated twice per workload is now
+/// structurally simulated once.
 pub fn fig_perf_area(
-    workloads: &[(Workload, Program)],
+    engine: &SimEngine,
     designs: &[DesignPoint],
     cfg: &ExperimentConfig,
     caption: &str,
 ) -> Report {
+    engine.run(&fig_perf_area_jobs(engine, designs, cfg));
     let mut report = Report::new(
         caption.to_string(),
-        &["design", "rel. performance", "rel. area", "btb MPKI", "L1-I MPKI"],
+        &[
+            "design",
+            "rel. performance",
+            "rel. area",
+            "btb MPKI",
+            "L1-I MPKI",
+        ],
     );
-    let tcfg = cfg.timing();
     let area = AreaModel::paper();
     let base_profile = DesignPoint::Baseline.storage_profile();
 
-    // Baseline IPC per workload for normalization.
-    let base_ipc: Vec<f64> = workloads
+    // Baseline IPC per workload for normalization — the same cached runs
+    // back the Baseline row below.
+    let base_ipc: Vec<f64> = engine
+        .workloads()
         .iter()
-        .map(|(_, p)| simulate_cmp(p, DesignPoint::Baseline, &tcfg).ipc())
+        .map(|(w, _)| engine.timing(&baseline_timing_job(*w, cfg)).ipc())
         .collect();
 
     for &d in designs {
         let mut rel_product = 1.0;
         let mut btb_mpki = 0.0;
         let mut l1i_mpki = 0.0;
-        for (i, (_, p)) in workloads.iter().enumerate() {
-            let r = if d == DesignPoint::Baseline {
-                // Reuse the normalization run's statistics.
-                simulate_cmp(p, DesignPoint::Baseline, &tcfg)
-            } else {
-                simulate_cmp(p, d, &tcfg)
-            };
+        for (i, (w, _)) in engine.workloads().iter().enumerate() {
+            let r = engine.timing(&timing_job(*w, d, cfg));
             rel_product *= r.ipc() / base_ipc[i];
             btb_mpki += r.btb_mpki();
             l1i_mpki += r.l1i_mpki();
         }
-        let n = workloads.len() as f64;
+        let n = engine.workloads().len() as f64;
         let geo = rel_product.powf(1.0 / n);
         let rel_area = area.relative_area(&d.storage_profile(), &base_profile);
         report.row(vec![
@@ -331,9 +561,9 @@ pub fn fig_perf_area(
 }
 
 /// Figure 2 wrapper.
-pub fn fig2(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
+pub fn fig2(engine: &SimEngine, cfg: &ExperimentConfig) -> Report {
     fig_perf_area(
-        workloads,
+        engine,
         &FIG2_DESIGNS,
         cfg,
         "Figure 2: relative performance & area of conventional frontends \
@@ -342,9 +572,9 @@ pub fn fig2(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report
 }
 
 /// Figure 6 wrapper.
-pub fn fig6(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
+pub fn fig6(engine: &SimEngine, cfg: &ExperimentConfig) -> Report {
     fig_perf_area(
-        workloads,
+        engine,
         &FIG6_DESIGNS,
         cfg,
         "Figure 6: relative performance & area including Confluence \
@@ -352,27 +582,46 @@ pub fn fig6(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report
     )
 }
 
+const FIG7_DESIGNS: [DesignPoint; 4] = [
+    DesignPoint::PhantomShift,
+    DesignPoint::TwoLevelShift,
+    DesignPoint::Confluence,
+    DesignPoint::IdealBtbShift,
+];
+
+/// Jobs for Figure 7.
+pub fn fig7_jobs(engine: &SimEngine, cfg: &ExperimentConfig) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (w, _) in engine.workloads() {
+        jobs.push(baseline_timing_job(*w, cfg).into());
+        for d in FIG7_DESIGNS {
+            jobs.push(timing_job(*w, d, cfg).into());
+        }
+    }
+    jobs
+}
+
 /// Figure 7: per-workload speedup of BTB designs (all coupled with SHIFT)
 /// over the 1K-entry conventional BTB + SHIFT.
-pub fn fig7(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report {
-    let designs = [
-        DesignPoint::PhantomShift,
-        DesignPoint::TwoLevelShift,
-        DesignPoint::Confluence,
-        DesignPoint::IdealBtbShift,
-    ];
+pub fn fig7(engine: &SimEngine, cfg: &ExperimentConfig) -> Report {
+    engine.run(&fig7_jobs(engine, cfg));
     let mut report = Report::new(
         "Figure 7: speedup of BTB designs (each coupled with SHIFT) over the \
          1K-entry conventional-BTB baseline \
          (paper: Phantom lowest; 2Level = 51% and Confluence = 90% of IdealBTB's speedup)",
-        &["workload", "PhantomBTB+SHIFT", "2LevelBTB+SHIFT", "Confluence", "IdealBTB+SHIFT"],
+        &[
+            "workload",
+            "PhantomBTB+SHIFT",
+            "2LevelBTB+SHIFT",
+            "Confluence",
+            "IdealBTB+SHIFT",
+        ],
     );
-    let tcfg = cfg.timing();
-    for (w, p) in workloads {
-        let base = simulate_cmp(p, DesignPoint::Baseline, &tcfg);
+    for (w, _) in engine.workloads() {
+        let base = engine.timing(&baseline_timing_job(*w, cfg));
         let mut cells = vec![w.name().to_string()];
-        for d in designs {
-            let r = simulate_cmp(p, d, &tcfg);
+        for d in FIG7_DESIGNS {
+            let r = engine.timing(&timing_job(*w, d, cfg));
             cells.push(f(r.speedup_over(&base), 3));
         }
         report.row(cells);
@@ -380,11 +629,17 @@ pub fn fig7(workloads: &[(Workload, Program)], cfg: &ExperimentConfig) -> Report
     report
 }
 
-/// Section 4.2 storage/area accounting table.
+/// Section 4.2 storage/area accounting table (pure arithmetic, no jobs).
 pub fn area_table() -> Report {
     let mut report = Report::new(
         "Storage & area accounting (paper Section 4.2; CACTI-lite @40nm)",
-        &["structure", "dedicated KB", "LLC-resident KB", "per-core mm2", "rel. area"],
+        &[
+            "structure",
+            "dedicated KB",
+            "LLC-resident KB",
+            "per-core mm2",
+            "rel. area",
+        ],
     );
     let model = AreaModel::paper();
     let base = DesignPoint::Baseline.storage_profile();
@@ -408,46 +663,79 @@ pub fn area_table() -> Report {
     report
 }
 
+/// Every job any figure or table in the suite needs, in one batch. The
+/// engine collapses the overlap (coverage baselines shared by Figures
+/// 8/9/10 + L1-I, timing runs shared by Figures 2/6/7), so one
+/// `engine.run(&all_jobs(..))` executes each unique simulation exactly
+/// once.
+pub fn all_jobs(engine: &SimEngine, cfg: &ExperimentConfig) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    jobs.extend(fig1_jobs(engine, cfg));
+    jobs.extend(table2_jobs(engine, cfg));
+    jobs.extend(fig8_jobs(engine, cfg));
+    jobs.extend(fig9_jobs(engine, cfg));
+    jobs.extend(fig10_jobs(engine, cfg));
+    jobs.extend(l1i_coverage_jobs(engine, cfg));
+    jobs.extend(fig_perf_area_jobs(engine, &FIG2_DESIGNS, cfg));
+    jobs.extend(fig_perf_area_jobs(engine, &FIG6_DESIGNS, cfg));
+    jobs.extend(fig7_jobs(engine, cfg));
+    jobs
+}
+
+/// Number of distinct keys in a job list (what a fully shared run
+/// executes).
+pub fn unique_jobs(jobs: &[Job]) -> usize {
+    jobs.iter().collect::<std::collections::HashSet<_>>().len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn quick_workloads() -> Vec<(Workload, Program)> {
+    fn quick_engine() -> (SimEngine, ExperimentConfig) {
         // Two workloads keep test time sane.
         let cfg = ExperimentConfig::quick();
-        cfg.workloads().into_iter().take(2).collect()
+        let workloads = cfg.workloads().into_iter().take(2).collect();
+        (SimEngine::new(workloads), cfg)
     }
 
     #[test]
     fn fig1_mpki_declines_with_capacity() {
-        let ws = quick_workloads();
-        let r = fig1(&ws, &ExperimentConfig::quick());
-        assert_eq!(r.len(), ws.len());
+        let (engine, cfg) = quick_engine();
+        let r = fig1(&engine, &cfg);
+        assert_eq!(r.len(), engine.workloads().len());
         let table = r.to_csv();
         // Parse first data row and check monotone non-increase 1K -> 32K.
         let row = table.lines().nth(2).unwrap();
-        let vals: Vec<f64> =
-            row.split(',').skip(1).map(|v| v.parse().unwrap()).collect();
-        assert!(vals[0] >= vals[5], "1K {} should exceed 32K {}", vals[0], vals[5]);
+        let vals: Vec<f64> = row.split(',').skip(1).map(|v| v.parse().unwrap()).collect();
+        assert!(
+            vals[0] >= vals[5],
+            "1K {} should exceed 32K {}",
+            vals[0],
+            vals[5]
+        );
     }
 
     #[test]
     fn table2_produces_all_rows() {
-        let ws = quick_workloads();
-        let r = table2(&ws, &ExperimentConfig::quick());
-        assert_eq!(r.len(), ws.len());
+        let (engine, cfg) = quick_engine();
+        let r = table2(&engine, &cfg);
+        assert_eq!(r.len(), engine.workloads().len());
     }
 
     #[test]
     fn fig9_airbtb_beats_phantom() {
-        let ws = quick_workloads();
-        let r = fig9(&ws, &ExperimentConfig::quick());
+        let (engine, cfg) = quick_engine();
+        let r = fig9(&engine, &cfg);
         let csv = r.to_csv();
         for line in csv.lines().skip(2) {
             let cells: Vec<&str> = line.split(',').collect();
             let phantom: f64 = cells[1].trim_end_matches('%').parse().unwrap();
             let air: f64 = cells[2].trim_end_matches('%').parse().unwrap();
-            assert!(air > phantom, "AirBTB {air}% must beat PhantomBTB {phantom}% ({line})");
+            assert!(
+                air > phantom,
+                "AirBTB {air}% must beat PhantomBTB {phantom}% ({line})"
+            );
         }
     }
 
@@ -459,5 +747,41 @@ mod tests {
         let cells: Vec<&str> = conf_row.split(',').collect();
         let rel: f64 = cells[4].parse().unwrap();
         assert!((1.003..1.02).contains(&rel), "Confluence rel. area {rel}");
+    }
+
+    #[test]
+    fn coverage_figures_share_the_baseline_run() {
+        let (engine, cfg) = quick_engine();
+        let n = engine.workloads().len() as u64;
+        fig8(&engine, &cfg);
+        let after_fig8 = engine.stats().executed;
+        // Figure 9 adds Phantom + 16K per workload; its baseline run and
+        // its full-AirBTB run are both cache hits from Figure 8.
+        fig9(&engine, &cfg);
+        let after_fig9 = engine.stats().executed;
+        assert_eq!(
+            after_fig9 - after_fig8,
+            2 * n,
+            "fig9 must only add 2 new runs/workload"
+        );
+        // Figure 10 shares the baseline and the (3,32) point with Fig 8.
+        fig10(&engine, &cfg);
+        assert_eq!(engine.stats().executed - after_fig9, 3 * n);
+        // The L1-I table shares the baseline; only +SHIFT is new.
+        let before = engine.stats().executed;
+        l1i_coverage(&engine, &cfg);
+        assert_eq!(engine.stats().executed - before, n);
+    }
+
+    #[test]
+    fn all_jobs_overlap_is_collapsed() {
+        let (engine, cfg) = quick_engine();
+        let jobs = all_jobs(&engine, &cfg);
+        let unique = unique_jobs(&jobs);
+        assert!(
+            unique < jobs.len(),
+            "figures must overlap: {unique} unique of {} requested",
+            jobs.len()
+        );
     }
 }

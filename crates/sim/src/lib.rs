@@ -6,11 +6,17 @@
 mod cmp;
 mod coverage;
 mod designs;
+mod engine;
 pub mod experiments;
+mod job;
 pub mod report;
 mod timing;
 
-pub use coverage::{branch_density, run_coverage, CoverageOptions, CoverageResult};
-pub use designs::{airbtb_ablation, DesignPoint, PrefetchScheme};
 pub use cmp::{simulate_cmp, TimingConfig, TimingResult};
+pub use coverage::{
+    branch_density, run_coverage, run_coverage_with, CoverageOptions, CoverageResult,
+};
+pub use designs::{airbtb_ablation, DesignPoint, PrefetchScheme};
+pub use engine::{EngineStats, SimEngine};
+pub use job::{BtbSpec, CoverageJob, DensityJob, Job, JobOutput, TimingJob};
 pub use timing::{CoreFrontend, CoreStats};

@@ -246,7 +246,8 @@ impl<'p> CoreFrontend<'p> {
 
     /// Installs a block into the L1-I with the BTB synchronization hooks.
     fn install(&mut self, block: BlockAddr) {
-        self.btb.on_l1i_fill(block, self.program.branches_in_block(block));
+        self.btb
+            .on_l1i_fill(block, self.program.branches_in_block(block));
         if let Some(evicted) = self.l1i.fill(block) {
             self.btb.on_l1i_evict(evicted);
         }
@@ -279,7 +280,9 @@ impl<'p> CoreFrontend<'p> {
     /// Fetch stage: brings the head region's blocks in and delivers up to
     /// `fetch_width` instructions per cycle into the instruction buffer.
     fn fetch(&mut self, now: u64, llc: &mut SharedLlc, history: &mut ShiftHistory) {
-        let Some(head) = self.fetch_queue.front() else { return };
+        let Some(head) = self.fetch_queue.front() else {
+            return;
+        };
         // Check/collect the region's blocks in order.
         let blocks: Vec<BlockAddr> = head.blocks.clone();
         let mut next = head.next_block;
@@ -294,7 +297,10 @@ impl<'p> CoreFrontend<'p> {
                 if self.measuring() {
                     self.stats.fetch_stall_cycles += 1;
                 }
-                self.fetch_queue.front_mut().expect("head exists").next_block = next;
+                self.fetch_queue
+                    .front_mut()
+                    .expect("head exists")
+                    .next_block = next;
                 return; // stall until the fill lands
             }
             next += 1;
@@ -339,7 +345,12 @@ impl<'p> CoreFrontend<'p> {
             if self.shift.is_some() {
                 self.scratch.clear();
                 let mut candidates = std::mem::take(&mut self.scratch);
-                self.shift.as_mut().expect("checked").on_access(history, block, !hit, &mut candidates);
+                self.shift.as_mut().expect("checked").on_access(
+                    history,
+                    block,
+                    !hit,
+                    &mut candidates,
+                );
                 for p in &candidates {
                     self.issue_prefetch(now, llc, *p);
                 }
@@ -368,9 +379,12 @@ impl<'p> CoreFrontend<'p> {
     }
 
     fn mshr_or_inflight(&self, block: BlockAddr) -> Option<u64> {
-        self.mshrs
-            .ready_at(block)
-            .or_else(|| self.inflight_prefetch.iter().find(|&&(b, _)| b == block).map(|&(_, t)| t))
+        self.mshrs.ready_at(block).or_else(|| {
+            self.inflight_prefetch
+                .iter()
+                .find(|&&(b, _)| b == block)
+                .map(|&(_, t)| t)
+        })
     }
 
     /// Issues one prefetch fill if the block is not already resident or in
@@ -512,8 +526,12 @@ impl<'p> CoreFrontend<'p> {
             });
         }
 
-        self.fetch_queue
-            .push_back(PendingRegion { len, blocks: blocks.clone(), next_block: 0, fetched: 0 });
+        self.fetch_queue.push_back(PendingRegion {
+            len,
+            blocks: blocks.clone(),
+            next_block: 0,
+            fetched: 0,
+        });
 
         // Fetch-directed prefetching sees the region as it is enqueued.
         // The deeper the BPU speculates ahead of fetch, the less likely the
@@ -524,7 +542,10 @@ impl<'p> CoreFrontend<'p> {
             let useful_prob = FDP_REGION_ACCURACY.powi(depth.max(0));
             self.scratch.clear();
             let mut candidates = std::mem::take(&mut self.scratch);
-            self.fdp.as_mut().expect("checked").on_region_enqueued(region, &mut candidates);
+            self.fdp
+                .as_mut()
+                .expect("checked")
+                .on_region_enqueued(region, &mut candidates);
             for p in &candidates {
                 if self.rng.chance(useful_prob) {
                     self.issue_prefetch(now, llc, *p);

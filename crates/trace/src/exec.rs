@@ -357,7 +357,11 @@ mod tests {
             ex.next_record();
             assert!(ex.call_depth() < 64, "depth {}", ex.call_depth());
         }
-        assert!(ex.requests_completed() > 10, "only {} requests", ex.requests_completed());
+        assert!(
+            ex.requests_completed() > 10,
+            "only {} requests",
+            ex.requests_completed()
+        );
     }
 
     #[test]
@@ -410,7 +414,11 @@ mod tests {
                 since = 0;
             }
         }
-        assert!(ex.requests_completed() > 3, "requests: {}", ex.requests_completed());
+        assert!(
+            ex.requests_completed() > 3,
+            "requests: {}",
+            ex.requests_completed()
+        );
     }
 
     #[test]
@@ -418,7 +426,10 @@ mod tests {
         let p = tiny_program();
         let bytes = p.stats().code_bytes as u64;
         for r in p.executor(9).take(100_000) {
-            let off = r.pc.raw().checked_sub(0x4000_0000).expect("pc below code base");
+            let off =
+                r.pc.raw()
+                    .checked_sub(0x4000_0000)
+                    .expect("pc below code base");
             assert!(off < bytes, "pc {} outside code", r.pc);
         }
     }

@@ -79,7 +79,12 @@ impl Bb {
     /// Total instruction count of the block (including the terminator).
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn len(&self) -> usize {
-        self.plain as usize + if matches!(self.term, Term::FallThrough) { 0 } else { 1 }
+        self.plain as usize
+            + if matches!(self.term, Term::FallThrough) {
+                0
+            } else {
+                1
+            }
     }
 
     /// Address of the terminating branch instruction.
@@ -158,7 +163,10 @@ impl Program {
 
     /// Entry addresses and popularity weights of the request types.
     pub fn request_entry_addrs(&self) -> Vec<(VAddr, f64)> {
-        self.request_entries.iter().map(|&(bb, w)| (self.bbs[bb as usize].base, w)).collect()
+        self.request_entries
+            .iter()
+            .map(|&(bb, w)| (self.bbs[bb as usize].base, w))
+            .collect()
     }
 
     /// True if the given 64-byte block holds generated code.
@@ -297,7 +305,9 @@ impl Builder {
         let spec = self.spec.clone();
         let shared_n = ((funcs as f64 * spec.shared_frac) as usize).max(1);
         let cold_n = ((funcs as f64 * COLD_FRAC * 0.5) as usize).max(1);
-        let hot_n = funcs.saturating_sub(shared_n + cold_n).max(spec.request_types);
+        let hot_n = funcs
+            .saturating_sub(shared_n + cold_n)
+            .max(spec.request_types);
         let per_request = (hot_n / spec.request_types).max(1);
 
         let mut pools = LayerPools {
@@ -361,7 +371,13 @@ impl Builder {
                     1.0 - spec.strong_bias
                 };
                 let cond_plain = self.tight_plain_len(2.0);
-                self.push_bb(cond_plain, Term::Cond { target: next, taken_prob });
+                self.push_bb(
+                    cond_plain,
+                    Term::Cond {
+                        target: next,
+                        taken_prob,
+                    },
+                );
             }
         }
         self.push_bb(1, Term::Return);
@@ -416,7 +432,11 @@ impl Builder {
         // which AirBTB's 3-entry bundles rely on: nearly all *hot* blocks
         // hold at most three branches, while the density tail comes from
         // rarely-executed cold code.
-        let plain_mean = if cold { spec.plain_len_cold } else { spec.plain_len_mean };
+        let plain_mean = if cold {
+            spec.plain_len_cold
+        } else {
+            spec.plain_len_mean
+        };
         let plain_p = plain_mean / (1.0 + plain_mean);
         let mut term_kinds = Vec::with_capacity(n);
         for i in 0..n {
@@ -464,7 +484,9 @@ impl Builder {
                 }
                 TermChoice::Jump => {
                     let skip = 1 + self.rng.index(3.min(n - i - 1).max(1));
-                    Term::Jump { target: entry + ((i + skip).min(n - 1)) as u32 }
+                    Term::Jump {
+                        target: entry + ((i + skip).min(n - 1)) as u32,
+                    }
                 }
                 TermChoice::Call => match self.pick_callee(below, request) {
                     Some(callee) => Term::Call { callee },
@@ -489,12 +511,18 @@ impl Builder {
                             let w = 1.0 / (k + 1) as f32;
                             choices.push((t, w));
                         }
-                        Term::IndirectJump { choices: choices.into_boxed_slice() }
+                        Term::IndirectJump {
+                            choices: choices.into_boxed_slice(),
+                        }
                     }
                 }
             };
             // A fall-through block must contain at least one instruction.
-            let plain = if matches!(term, Term::FallThrough) { plain.max(1) } else { plain };
+            let plain = if matches!(term, Term::FallThrough) {
+                plain.max(1)
+            } else {
+                plain
+            };
             self.push_bb(plain, term);
         }
 
@@ -502,7 +530,12 @@ impl Builder {
         let stubs = pending_stubs.clone();
         for (resume, callee) in stubs {
             self.push_bb(0, Term::Call { callee });
-            self.push_bb(0, Term::Jump { target: entry + resume as u32 });
+            self.push_bb(
+                0,
+                Term::Jump {
+                    target: entry + resume as u32,
+                },
+            );
         }
 
         // Functions start at a fresh 64-byte block boundary (compilers
@@ -579,8 +612,10 @@ impl Builder {
     ) -> Option<Box<[(u32, f32)]>> {
         let below = below?;
         let spec = &self.spec;
-        let fanout =
-            self.rng.range(spec.indirect_fanout.0 as u64, spec.indirect_fanout.1 as u64) as usize;
+        let fanout = self
+            .rng
+            .range(spec.indirect_fanout.0 as u64, spec.indirect_fanout.1 as u64)
+            as usize;
         let mut choices = Vec::with_capacity(fanout);
         for k in 0..fanout {
             let callee = self.pick_callee(Some(below), request)?;
@@ -597,8 +632,15 @@ impl Builder {
         let call = m.call * call_damp;
         let icall = m.indirect_call * call_damp;
         let spare = (m.call - call) + (m.indirect_call - icall);
-        let weights =
-            [m.cond, call, m.jump, icall, m.indirect_jump, m.ret, m.fallthrough + spare];
+        let weights = [
+            m.cond,
+            call,
+            m.jump,
+            icall,
+            m.indirect_jump,
+            m.ret,
+            m.fallthrough + spare,
+        ];
         match self.rng.weighted(&weights) {
             0 => TermChoice::Cond,
             1 => TermChoice::Call,
@@ -612,7 +654,12 @@ impl Builder {
 
     fn push_bb(&mut self, plain: u8, term: Term) {
         let base = VAddr::new(self.cursor);
-        let instrs = plain as usize + if matches!(term, Term::FallThrough) { 0 } else { 1 };
+        let instrs = plain as usize
+            + if matches!(term, Term::FallThrough) {
+                0
+            } else {
+                1
+            };
         debug_assert!(instrs > 0);
         self.cursor += (instrs * INSTR_BYTES) as u64;
         self.bbs.push(Bb { base, plain, term });
@@ -625,9 +672,9 @@ impl Builder {
             let Some(kind) = bb.term.kind() else { continue };
             let pc = bb.term_pc();
             let target = match &bb.term {
-                Term::Cond { target, .. } | Term::Jump { target } | Term::Call { callee: target } => {
-                    Some(self.bbs[*target as usize].base)
-                }
+                Term::Cond { target, .. }
+                | Term::Jump { target }
+                | Term::Call { callee: target } => Some(self.bbs[*target as usize].base),
                 _ => None,
             };
             let branch = match target {
@@ -692,7 +739,11 @@ mod tests {
     fn last_bb_of_trace_paths_return() {
         let p = Program::generate(&WorkloadSpec::tiny()).unwrap();
         // Every function must contain at least one Return so requests finish.
-        let returns = p.bbs().iter().filter(|b| matches!(b.term, Term::Return)).count();
+        let returns = p
+            .bbs()
+            .iter()
+            .filter(|b| matches!(b.term, Term::Return))
+            .count();
         assert!(returns >= p.stats().functions);
     }
 
@@ -750,12 +801,11 @@ mod tests {
 
     #[test]
     fn full_workload_specs_generate() {
-        // Smoke-test generation of the real (multi-MB) presets.
-        for w in [Workload::DssQueries] {
-            let p = Program::generate(&w.spec()).unwrap();
-            let mb = p.stats().code_bytes as f64 / (1024.0 * 1024.0);
-            assert!(mb > 1.0, "{w}: generated only {mb:.2} MiB");
-        }
+        // Smoke-test generation of a real (multi-MB) preset.
+        let w = Workload::DssQueries;
+        let p = Program::generate(&w.spec()).unwrap();
+        let mb = p.stats().code_bytes as f64 / (1024.0 * 1024.0);
+        assert!(mb > 1.0, "{w}: generated only {mb:.2} MiB");
     }
 
     #[test]

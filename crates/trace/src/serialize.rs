@@ -26,7 +26,11 @@ pub struct DecodeTraceError {
 
 impl fmt::Display for DecodeTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace decode failed at byte {}: {}", self.offset, self.reason)
+        write!(
+            f,
+            "trace decode failed at byte {}: {}",
+            self.offset, self.reason
+        )
     }
 }
 
@@ -91,21 +95,32 @@ pub fn decode_records(mut data: &[u8]) -> Result<Vec<TraceRecord>, DecodeTraceEr
         let tag = data.get_u8();
         if tag == 0 {
             if data.remaining() < 8 {
-                return Err(DecodeTraceError { offset, reason: "truncated plain record" });
+                return Err(DecodeTraceError {
+                    offset,
+                    reason: "truncated plain record",
+                });
             }
             out.push(TraceRecord::plain(VAddr::new(data.get_u64_le())));
         } else if tag & TAG_BRANCH != 0 {
             if data.remaining() < 16 {
-                return Err(DecodeTraceError { offset, reason: "truncated branch record" });
+                return Err(DecodeTraceError {
+                    offset,
+                    reason: "truncated branch record",
+                });
             }
-            let kind = code_kind(tag & 0x0F)
-                .ok_or(DecodeTraceError { offset, reason: "unknown branch kind" })?;
+            let kind = code_kind(tag & 0x0F).ok_or(DecodeTraceError {
+                offset,
+                reason: "unknown branch kind",
+            })?;
             let taken = tag & TAG_TAKEN != 0;
             let pc = VAddr::new(data.get_u64_le());
             let target = VAddr::new(data.get_u64_le());
             out.push(TraceRecord::branch(pc, kind, taken, target));
         } else {
-            return Err(DecodeTraceError { offset, reason: "unknown tag" });
+            return Err(DecodeTraceError {
+                offset,
+                reason: "unknown tag",
+            });
         }
     }
     Ok(out)

@@ -397,7 +397,9 @@ impl WorkloadSpec {
         ];
         for (name, p) in probs {
             if !(0.0..=1.0).contains(&p) {
-                return Err(ConfigError::new(format!("{name} = {p} is not a probability")));
+                return Err(ConfigError::new(format!(
+                    "{name} = {p} is not a probability"
+                )));
             }
         }
         if (self.term_mix.total() - 1.0).abs() > 1e-6 {
@@ -413,7 +415,9 @@ impl WorkloadSpec {
             return Err(ConfigError::new("need at least one request type"));
         }
         if self.flavors_per_request == 0 {
-            return Err(ConfigError::new("need at least one flavor per request type"));
+            return Err(ConfigError::new(
+                "need at least one flavor per request type",
+            ));
         }
         if self.bb_per_func.0 < 2 || self.bb_per_func.0 > self.bb_per_func.1 {
             return Err(ConfigError::new("bb_per_func range invalid (min 2)"));
@@ -443,7 +447,10 @@ mod tests {
 
     #[test]
     fn oracle_has_largest_working_set() {
-        let sizes: Vec<usize> = Workload::ALL.iter().map(|w| w.spec().target_code_kb).collect();
+        let sizes: Vec<usize> = Workload::ALL
+            .iter()
+            .map(|w| w.spec().target_code_kb)
+            .collect();
         let oracle = Workload::OltpOracle.spec().target_code_kb;
         assert!(sizes.iter().all(|&s| s <= oracle));
     }

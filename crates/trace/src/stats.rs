@@ -144,7 +144,10 @@ impl StreamStats {
             }
         }
 
-        let mut s = StreamStats { block_accesses: stream.len() as u64, ..Default::default() };
+        let mut s = StreamStats {
+            block_accesses: stream.len() as u64,
+            ..Default::default()
+        };
         if stream.len() < 2 {
             return s;
         }
@@ -168,10 +171,7 @@ impl StreamStats {
         while i < stream.len() {
             if let Some(&p) = last_pos.get(&stream[i]) {
                 let mut len = 0;
-                while i + len < stream.len()
-                    && p + len < i
-                    && stream[p + len] == stream[i + len]
-                {
+                while i + len < stream.len() && p + len < i && stream[p + len] == stream[i + len] {
                     len += 1;
                 }
                 if len > 1 {
@@ -240,7 +240,11 @@ mod tests {
         let s = StreamStats::collect(p.executor(1).take(300_000));
         // Request-level recurrence: the vast majority of block transitions
         // repeat (the basis of temporal streaming, paper §2.2).
-        assert!(s.repeat_transition_frac > 0.8, "repeat frac {}", s.repeat_transition_frac);
+        assert!(
+            s.repeat_transition_frac > 0.8,
+            "repeat frac {}",
+            s.repeat_transition_frac
+        );
         assert!(s.mean_repeat_run > 3.0, "mean run {}", s.mean_repeat_run);
     }
 

@@ -34,7 +34,11 @@ impl VAddr {
     /// 48-bit virtual address space.
     #[inline]
     pub fn new(raw: u64) -> Self {
-        debug_assert_eq!(raw % INSTR_BYTES as u64, 0, "instruction address must be aligned");
+        debug_assert_eq!(
+            raw % INSTR_BYTES as u64,
+            0,
+            "instruction address must be aligned"
+        );
         debug_assert_eq!(raw & !VADDR_MASK, 0, "address exceeds 48-bit space");
         VAddr(raw & VADDR_MASK)
     }
@@ -79,7 +83,10 @@ impl VAddr {
     /// assuming `other >= self`. Returns `None` if `other < self`.
     #[inline]
     pub fn instrs_until(self, other: VAddr) -> Option<usize> {
-        other.0.checked_sub(self.0).map(|d| (d as usize) / INSTR_BYTES)
+        other
+            .0
+            .checked_sub(self.0)
+            .map(|d| (d as usize) / INSTR_BYTES)
     }
 }
 

@@ -114,13 +114,24 @@ impl PredecodedBranch {
     /// Creates a direct branch record.
     pub fn direct(offset: u8, kind: BranchKind, target: VAddr) -> Self {
         debug_assert!(!kind.is_indirect(), "direct branch must have a direct kind");
-        PredecodedBranch { offset, kind, target: Some(target) }
+        PredecodedBranch {
+            offset,
+            kind,
+            target: Some(target),
+        }
     }
 
     /// Creates an indirect branch or return record (no static target).
     pub fn indirect(offset: u8, kind: BranchKind) -> Self {
-        debug_assert!(kind.is_indirect(), "indirect branch must have an indirect kind");
-        PredecodedBranch { offset, kind, target: None }
+        debug_assert!(
+            kind.is_indirect(),
+            "indirect branch must have an indirect kind"
+        );
+        PredecodedBranch {
+            offset,
+            kind,
+            target: None,
+        }
     }
 }
 
@@ -131,7 +142,10 @@ mod tests {
     #[test]
     fn class_mapping_matches_paper_taxonomy() {
         assert_eq!(BranchKind::Conditional.class(), BranchClass::Conditional);
-        assert_eq!(BranchKind::Unconditional.class(), BranchClass::Unconditional);
+        assert_eq!(
+            BranchKind::Unconditional.class(),
+            BranchClass::Unconditional
+        );
         assert_eq!(BranchKind::Call.class(), BranchClass::Unconditional);
         assert_eq!(BranchKind::IndirectJump.class(), BranchClass::Indirect);
         assert_eq!(BranchKind::IndirectCall.class(), BranchClass::Indirect);

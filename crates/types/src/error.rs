@@ -13,7 +13,9 @@ pub struct ConfigError {
 impl ConfigError {
     /// Creates a configuration error with a human-readable message.
     pub fn new(message: impl Into<String>) -> Self {
-        ConfigError { message: message.into() }
+        ConfigError {
+            message: message.into(),
+        }
     }
 }
 

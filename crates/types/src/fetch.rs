@@ -25,7 +25,10 @@ impl FetchRegion {
     /// Panics in debug builds if `len == 0`.
     #[inline]
     pub fn new(start: VAddr, len: usize) -> Self {
-        debug_assert!(len > 0, "fetch region must contain at least one instruction");
+        debug_assert!(
+            len > 0,
+            "fetch region must contain at least one instruction"
+        );
         FetchRegion { start, len }
     }
 
@@ -36,7 +39,9 @@ impl FetchRegion {
     /// Panics in debug builds if `end < start`.
     #[inline]
     pub fn spanning(start: VAddr, end: VAddr) -> Self {
-        let n = start.instrs_until(end).expect("fetch region end precedes start");
+        let n = start
+            .instrs_until(end)
+            .expect("fetch region end precedes start");
         FetchRegion::new(start, n + 1)
     }
 
@@ -77,7 +82,10 @@ mod tests {
         let start = BlockAddr::from_raw(10).instr(INSTRS_PER_BLOCK - 2);
         let r = FetchRegion::new(start, 4); // crosses into block 11
         let blocks: Vec<_> = r.blocks().collect();
-        assert_eq!(blocks, vec![BlockAddr::from_raw(10), BlockAddr::from_raw(11)]);
+        assert_eq!(
+            blocks,
+            vec![BlockAddr::from_raw(10), BlockAddr::from_raw(11)]
+        );
     }
 
     #[test]

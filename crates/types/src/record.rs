@@ -40,7 +40,14 @@ impl TraceRecord {
     /// Creates a branch instruction record.
     #[inline]
     pub fn branch(pc: VAddr, kind: BranchKind, taken: bool, target: VAddr) -> Self {
-        TraceRecord { pc, branch: Some(BranchOutcome { kind, taken, target }) }
+        TraceRecord {
+            pc,
+            branch: Some(BranchOutcome {
+                kind,
+                taken,
+                target,
+            }),
+        }
     }
 
     /// True if this record is a branch that was taken.
@@ -65,14 +72,24 @@ mod tests {
 
     #[test]
     fn next_pc_follows_taken_branch() {
-        let r = TraceRecord::branch(VAddr::new(0x100), BranchKind::Unconditional, true, VAddr::new(0x800));
+        let r = TraceRecord::branch(
+            VAddr::new(0x100),
+            BranchKind::Unconditional,
+            true,
+            VAddr::new(0x800),
+        );
         assert_eq!(r.next_pc(), VAddr::new(0x800));
         assert!(r.is_taken_branch());
     }
 
     #[test]
     fn next_pc_falls_through_not_taken() {
-        let r = TraceRecord::branch(VAddr::new(0x100), BranchKind::Conditional, false, VAddr::new(0x800));
+        let r = TraceRecord::branch(
+            VAddr::new(0x100),
+            BranchKind::Conditional,
+            false,
+            VAddr::new(0x800),
+        );
         assert_eq!(r.next_pc(), VAddr::new(0x104));
         assert!(!r.is_taken_branch());
     }

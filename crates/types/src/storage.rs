@@ -19,7 +19,10 @@ pub struct SramArray {
 impl SramArray {
     /// Creates an array record.
     pub fn new(label: impl Into<String>, bits: u64) -> Self {
-        SramArray { label: label.into(), bits }
+        SramArray {
+            label: label.into(),
+            bits,
+        }
     }
 
     /// Size in KiB.
@@ -99,8 +102,12 @@ mod tests {
 
     #[test]
     fn merge_combines_all_fields() {
-        let a = StorageProfile::empty().with_array("x", 100).with_llc_resident(64);
-        let b = StorageProfile::empty().with_array("y", 200).with_llc_tag_extension(32);
+        let a = StorageProfile::empty()
+            .with_array("x", 100)
+            .with_llc_resident(64);
+        let b = StorageProfile::empty()
+            .with_array("y", 200)
+            .with_llc_tag_extension(32);
         let m = a.merge(b);
         assert_eq!(m.arrays.len(), 2);
         assert_eq!(m.dedicated_bits(), 300);

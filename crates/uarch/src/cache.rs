@@ -49,7 +49,9 @@ impl<V> SetAssocCache<V> {
     /// is zero.
     pub fn new(sets: usize, ways: usize) -> Result<Self, ConfigError> {
         if sets == 0 || !sets.is_power_of_two() {
-            return Err(ConfigError::new(format!("sets = {sets} must be a nonzero power of two")));
+            return Err(ConfigError::new(format!(
+                "sets = {sets} must be a nonzero power of two"
+            )));
         }
         if ways == 0 {
             return Err(ConfigError::new("ways must be nonzero"));
@@ -74,7 +76,11 @@ impl<V> SetAssocCache<V> {
             return Err(ConfigError::new("ways must be nonzero"));
         }
         let sets = (capacity_lines / ways).next_power_of_two();
-        let sets = if sets * ways > capacity_lines && sets > 1 { sets / 2 } else { sets };
+        let sets = if sets * ways > capacity_lines && sets > 1 {
+            sets / 2
+        } else {
+            sets
+        };
         Self::new(sets.max(1), ways)
     }
 
@@ -167,7 +173,10 @@ impl<V> SetAssocCache<V> {
     #[inline]
     pub fn probe(&self, key: u64) -> Option<&V> {
         let set = self.set_of(key);
-        self.sets[set].iter().find(|l| l.key == key).map(|l| &l.value)
+        self.sets[set]
+            .iter()
+            .find(|l| l.key == key)
+            .map(|l| &l.value)
     }
 
     /// True if `key` is resident (no recency update).
@@ -227,7 +236,9 @@ impl<V> SetAssocCache<V> {
 
     /// Iterates over `(key, &value)` of all resident lines (set order).
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
-        self.sets.iter().flat_map(|s| s.iter().map(|l| (l.key, &l.value)))
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|l| (l.key, &l.value)))
     }
 
     /// Clears all lines.

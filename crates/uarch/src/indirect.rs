@@ -23,7 +23,11 @@ impl IndirectTargetCache {
     /// two).
     pub fn with_entries(entries: usize) -> Self {
         let n = entries.next_power_of_two().max(2);
-        IndirectTargetCache { entries: vec![None; n], mask: (n - 1) as u64, path_history: 0 }
+        IndirectTargetCache {
+            entries: vec![None; n],
+            mask: (n - 1) as u64,
+            path_history: 0,
+        }
     }
 
     #[inline]

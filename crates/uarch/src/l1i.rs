@@ -30,7 +30,11 @@ impl L1ICache {
     ///
     /// Returns an error for invalid set/way counts.
     pub fn new(sets: usize, ways: usize) -> Result<Self, ConfigError> {
-        Ok(L1ICache { cache: SetAssocCache::new(sets, ways)?, hits: 0, misses: 0 })
+        Ok(L1ICache {
+            cache: SetAssocCache::new(sets, ways)?,
+            hits: 0,
+            misses: 0,
+        })
     }
 
     /// Number of blocks the cache can hold.
@@ -57,7 +61,9 @@ impl L1ICache {
     /// Fills `block` (demand or prefetch), returning the evicted block if
     /// any. Refilling a resident block only refreshes recency.
     pub fn fill(&mut self, block: BlockAddr) -> Option<BlockAddr> {
-        self.cache.insert(block.raw(), ()).map(|(k, ())| BlockAddr::from_raw(k))
+        self.cache
+            .insert(block.raw(), ())
+            .map(|(k, ())| BlockAddr::from_raw(k))
     }
 
     /// Demand hits observed so far.

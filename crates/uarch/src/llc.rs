@@ -36,7 +36,14 @@ impl SharedLlc {
     pub fn new(params: MemParams) -> Result<Self, ConfigError> {
         let cache = SetAssocCache::with_capacity(params.llc_blocks(), params.llc_ways)?;
         let noc = MeshNoc::new(params.cores, params.noc_hop_latency)?;
-        Ok(SharedLlc { cache, noc, params, hits: 0, misses: 0, reserved_lines: 0 })
+        Ok(SharedLlc {
+            cache,
+            noc,
+            params,
+            hits: 0,
+            misses: 0,
+            reserved_lines: 0,
+        })
     }
 
     /// Reserves `lines` LLC lines for virtualized predictor metadata.
@@ -170,7 +177,10 @@ mod tests {
         llc.warm_fill(BlockAddr::from_raw(9));
         assert!(llc.contains(BlockAddr::from_raw(9)));
         assert_eq!(llc.misses(), 0);
-        assert_eq!(llc.access(1, BlockAddr::from_raw(9)), llc.access_latency(1, BlockAddr::from_raw(9)));
+        assert_eq!(
+            llc.access(1, BlockAddr::from_raw(9)),
+            llc.access_latency(1, BlockAddr::from_raw(9))
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ impl MshrFile {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be nonzero");
-        MshrFile { entries: Vec::with_capacity(capacity), capacity }
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// True if no new miss can be tracked.
@@ -32,7 +35,10 @@ impl MshrFile {
 
     /// Cycle at which the fill for `block` completes, if one is in flight.
     pub fn ready_at(&self, block: BlockAddr) -> Option<u64> {
-        self.entries.iter().find(|&&(b, _)| b == block).map(|&(_, t)| t)
+        self.entries
+            .iter()
+            .find(|&&(b, _)| b == block)
+            .map(|&(_, t)| t)
     }
 
     /// Allocates an entry for `block` completing at `ready_cycle`.

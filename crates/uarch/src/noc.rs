@@ -22,7 +22,9 @@ impl MeshNoc {
     pub fn new(tiles: usize, hop_latency: u64) -> Result<Self, ConfigError> {
         let dim = (tiles as f64).sqrt() as usize;
         if dim == 0 || dim * dim != tiles {
-            return Err(ConfigError::new(format!("tiles = {tiles} is not a perfect square")));
+            return Err(ConfigError::new(format!(
+                "tiles = {tiles} is not a perfect square"
+            )));
         }
         Ok(MeshNoc { dim, hop_latency })
     }

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Core pipeline parameters (ARM Cortex-A72-like, paper Section 4.1).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CoreParams {
     /// Fetch-queue capacity in basic blocks ("fetch queue of six basic
     /// blocks").
@@ -44,7 +44,7 @@ impl Default for CoreParams {
 }
 
 /// Memory-hierarchy parameters (paper Table 1).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MemParams {
     /// L1-I capacity in bytes (32 KB).
     pub l1i_bytes: usize,

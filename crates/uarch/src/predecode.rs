@@ -25,7 +25,9 @@ pub struct Predecoder {
 impl Predecoder {
     /// Creates a predecoder with the default 2-cycle scan latency.
     pub fn new() -> Self {
-        Predecoder { latency: DEFAULT_PREDECODE_LATENCY }
+        Predecoder {
+            latency: DEFAULT_PREDECODE_LATENCY,
+        }
     }
 
     /// Creates a predecoder with an explicit scan latency.
@@ -71,7 +73,11 @@ mod tests {
     #[test]
     fn scan_returns_oracle_contents() {
         let block = BlockAddr::from_raw(7);
-        let branches = vec![PredecodedBranch::direct(3, BranchKind::Call, VAddr::new(0x40))];
+        let branches = vec![PredecodedBranch::direct(
+            3,
+            BranchKind::Call,
+            VAddr::new(0x40),
+        )];
         let oracle = MapOracle(HashMap::from([(block, branches.clone())]));
         let pd = Predecoder::new();
         assert_eq!(pd.scan(&oracle, block), branches.as_slice());

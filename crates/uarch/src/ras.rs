@@ -26,7 +26,11 @@ impl ReturnAddressStack {
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "RAS capacity must be nonzero");
-        ReturnAddressStack { entries: vec![VAddr::default(); capacity], top: 0, depth: 0 }
+        ReturnAddressStack {
+            entries: vec![VAddr::default(); capacity],
+            top: 0,
+            depth: 0,
+        }
     }
 
     /// Pushes a return address (call executed).

@@ -12,12 +12,19 @@ use confluence_core::{AirBtb, AirBtbMode};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = Program::generate(&Workload::WebFrontend.spec().with_code_kb(1024))?;
-    let opts = CoverageOptions { warmup_instrs: 400_000, measure_instrs: 800_000, ..Default::default() };
+    let opts = CoverageOptions {
+        warmup_instrs: 400_000,
+        measure_instrs: 800_000,
+        ..Default::default()
+    };
 
     let mut baseline = ConventionalBtb::baseline_1k()?;
     let rb = run_coverage(&program, &mut baseline, &opts);
     println!("baseline (1K conventional): {:.1} MPKI\n", rb.btb_mpki());
-    println!("{:>8} {:>8} {:>12} {:>10} {:>10}", "bundle", "overflow", "storage KiB", "MPKI", "coverage");
+    println!(
+        "{:>8} {:>8} {:>12} {:>10} {:>10}",
+        "bundle", "overflow", "storage KiB", "MPKI", "coverage"
+    );
 
     for bundle in [2usize, 3, 4, 6] {
         for overflow in [0usize, 16, 32, 64] {

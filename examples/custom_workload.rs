@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let cfg = TimingConfig::quick();
     let base = simulate_cmp(&program, DesignPoint::Baseline, &cfg);
-    println!("\n{:<22} {:>8} {:>10} {:>10} {:>10}", "design", "IPC", "speedup", "BTB MPKI", "L1I MPKI");
+    println!(
+        "\n{:<22} {:>8} {:>10} {:>10} {:>10}",
+        "design", "IPC", "speedup", "BTB MPKI", "L1I MPKI"
+    );
     for d in [
         DesignPoint::Baseline,
         DesignPoint::Fdp,

@@ -23,14 +23,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Functional comparison: BTB miss coverage of AirBTB vs the 1K
     //    conventional baseline.
-    let opts = CoverageOptions { warmup_instrs: 400_000, measure_instrs: 800_000, ..Default::default() };
+    let opts = CoverageOptions {
+        warmup_instrs: 400_000,
+        measure_instrs: 800_000,
+        ..Default::default()
+    };
     let mut baseline = ConventionalBtb::baseline_1k()?;
     let rb = run_coverage(&program, &mut baseline, &opts);
     let mut airbtb = AirBtb::paper_config();
     let ra = run_coverage(&program, &mut airbtb, &opts.clone().with_shift());
     println!("baseline BTB MPKI : {:.1}", rb.btb_mpki());
     println!("AirBTB   BTB MPKI : {:.1}", ra.btb_mpki());
-    println!("miss coverage     : {:.1}%", 100.0 * ra.btb_miss_coverage_vs(&rb));
+    println!(
+        "miss coverage     : {:.1}%",
+        100.0 * ra.btb_miss_coverage_vs(&rb)
+    );
     println!(
         "AirBTB storage    : {:.1} KiB (baseline: {:.1} KiB)",
         airbtb.storage().dedicated_kib(),
@@ -43,7 +50,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let conf = simulate_cmp(&program, DesignPoint::Confluence, &tcfg);
     let ideal = simulate_cmp(&program, DesignPoint::Ideal, &tcfg);
     println!("baseline IPC      : {:.3}", base.ipc());
-    println!("Confluence IPC    : {:.3} (+{:.1}%)", conf.ipc(), 100.0 * (conf.speedup_over(&base) - 1.0));
-    println!("Ideal IPC         : {:.3} (+{:.1}%)", ideal.ipc(), 100.0 * (ideal.speedup_over(&base) - 1.0));
+    println!(
+        "Confluence IPC    : {:.3} (+{:.1}%)",
+        conf.ipc(),
+        100.0 * (conf.speedup_over(&base) - 1.0)
+    );
+    println!(
+        "Ideal IPC         : {:.3} (+{:.1}%)",
+        ideal.ipc(),
+        100.0 * (ideal.speedup_over(&base) - 1.0)
+    );
     Ok(())
 }

@@ -18,13 +18,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let streams = StreamStats::collect(program.executor(1).take(n));
         println!("== {} ==", w.name());
         println!("  instructions          : {}", stats.instrs);
-        println!("  branch fraction       : {:.1}%", 100.0 * stats.branch_fraction());
-        println!("  taken per kilo-instr  : {:.0}", stats.taken_per_kilo_instr());
-        println!("  working set           : {:.0} KiB", stats.working_set_kb());
-        println!("  BTB footprint         : {} taken-branch PCs", stats.unique_taken_branch_pcs);
-        println!("  static branches/block : {:.2}", stats.static_branches_per_block);
-        println!("  repeat transitions    : {:.1}%", 100.0 * streams.repeat_transition_frac);
-        println!("  mean repeated run     : {:.1} blocks", streams.mean_repeat_run);
+        println!(
+            "  branch fraction       : {:.1}%",
+            100.0 * stats.branch_fraction()
+        );
+        println!(
+            "  taken per kilo-instr  : {:.0}",
+            stats.taken_per_kilo_instr()
+        );
+        println!(
+            "  working set           : {:.0} KiB",
+            stats.working_set_kb()
+        );
+        println!(
+            "  BTB footprint         : {} taken-branch PCs",
+            stats.unique_taken_branch_pcs
+        );
+        println!(
+            "  static branches/block : {:.2}",
+            stats.static_branches_per_block
+        );
+        println!(
+            "  repeat transitions    : {:.1}%",
+            100.0 * streams.repeat_transition_frac
+        );
+        println!(
+            "  mean repeated run     : {:.1} blocks",
+            streams.mean_repeat_run
+        );
     }
 
     // Round-trip a trace snippet through the binary format.
@@ -33,6 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let encoded = encode_records(snippet.iter().copied());
     let decoded = decode_records(&encoded)?;
     assert_eq!(snippet, decoded);
-    println!("\nserialized 10k records into {} bytes and decoded them back", encoded.len());
+    println!(
+        "\nserialized 10k records into {} bytes and decoded them back",
+        encoded.len()
+    );
     Ok(())
 }

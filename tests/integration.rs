@@ -1,12 +1,13 @@
 //! Cross-crate integration tests: the full pipeline from workload
-//! generation through functional coverage and cycle-level CMP simulation.
+//! generation through functional coverage, cycle-level CMP simulation, and
+//! the parallel memoizing experiment engine.
 
 use confluence::sim::{
-    run_coverage, simulate_cmp, CoverageOptions, DesignPoint, TimingConfig,
+    experiments, run_coverage, simulate_cmp, CoverageOptions, DesignPoint, SimEngine, TimingConfig,
 };
 use confluence::trace::{Program, Workload, WorkloadSpec};
 use confluence_area::AreaModel;
-use confluence_btb::{BtbDesign, ConventionalBtb};
+use confluence_btb::ConventionalBtb;
 use confluence_core::AirBtb;
 use confluence_uarch::MemParams;
 
@@ -19,7 +20,10 @@ fn quick_timing() -> TimingConfig {
         cores: 2,
         warmup_instrs: 80_000,
         measure_instrs: 80_000,
-        mem: MemParams { cores: 4, ..MemParams::default() },
+        mem: MemParams {
+            cores: 4,
+            ..MemParams::default()
+        },
         ..TimingConfig::default()
     }
 }
@@ -97,6 +101,65 @@ fn all_workload_presets_generate_and_execute() {
     }
 }
 
+/// Two engines over the *same* `Arc`-shared programs — one parallel, one
+/// serial — must render byte-identical CSV for a multi-figure run: jobs
+/// are pure functions of their keys, so the worker pool cannot perturb
+/// results.
+#[test]
+fn engine_parallel_run_is_deterministic() {
+    let cfg = experiments::ExperimentConfig::quick();
+    let workloads: Vec<_> = cfg.workloads().into_iter().take(2).collect();
+    let parallel = SimEngine::new(workloads.clone()).with_threads(4);
+    let serial = SimEngine::new(workloads).with_threads(1);
+
+    let render = |engine: &SimEngine| {
+        let mut csv = experiments::fig9(engine, &cfg).to_csv();
+        csv.push_str(&experiments::l1i_coverage(engine, &cfg).to_csv());
+        csv
+    };
+    assert_eq!(
+        render(&parallel),
+        render(&serial),
+        "parallel CSV must equal serial CSV"
+    );
+    // The parallel engine must not have simulated more than the serial one.
+    assert_eq!(parallel.stats().executed, serial.stats().executed);
+}
+
+/// Across the full multi-figure batch, each unique simulation runs exactly
+/// once: the engine's executed count equals the number of distinct job
+/// keys, with every duplicate request served from the cache.
+#[test]
+fn engine_runs_each_unique_simulation_once() {
+    let cfg = experiments::ExperimentConfig::quick();
+    let workloads: Vec<_> = cfg.workloads().into_iter().take(2).collect();
+    let engine = SimEngine::new(workloads);
+    let jobs: Vec<_> = experiments::fig8_jobs(&engine, &cfg)
+        .into_iter()
+        .chain(experiments::fig9_jobs(&engine, &cfg))
+        .chain(experiments::fig10_jobs(&engine, &cfg))
+        .chain(experiments::l1i_coverage_jobs(&engine, &cfg))
+        .collect();
+    let unique = experiments::unique_jobs(&jobs) as u64;
+    engine.run(&jobs);
+    let stats = engine.stats();
+    assert!(unique < jobs.len() as u64, "figures must share jobs");
+    assert_eq!(
+        stats.executed, unique,
+        "each unique job must execute exactly once"
+    );
+    // Formatting the figures afterwards is pure cache hits.
+    experiments::fig8(&engine, &cfg);
+    experiments::fig9(&engine, &cfg);
+    experiments::fig10(&engine, &cfg);
+    experiments::l1i_coverage(&engine, &cfg);
+    assert_eq!(
+        engine.stats().executed,
+        unique,
+        "formatters must not re-simulate"
+    );
+}
+
 #[test]
 fn shift_history_shared_across_cores_helps() {
     // A consumer core using a history trained by another core must see
@@ -146,5 +209,9 @@ fn shift_history_shared_across_cores_helps() {
         miss_rate < 0.08,
         "consumer core miss rate {miss_rate} too high for a shared history"
     );
-    assert!(engine.confirmed() > 1000, "stream confirmations {}", engine.confirmed());
+    assert!(
+        engine.confirmed() > 1000,
+        "stream confirmations {}",
+        engine.confirmed()
+    );
 }

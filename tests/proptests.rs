@@ -165,7 +165,10 @@ fn arb_record() -> impl Strategy<Value = TraceRecord> {
         Just(BranchKind::IndirectJump),
         Just(BranchKind::IndirectCall),
     ];
-    (arb_vaddr(), proptest::option::of((kinds, any::<bool>(), arb_vaddr())))
+    (
+        arb_vaddr(),
+        proptest::option::of((kinds, any::<bool>(), arb_vaddr())),
+    )
         .prop_map(|(pc, branch)| match branch {
             None => TraceRecord::plain(pc),
             Some((kind, taken, target)) => TraceRecord::branch(pc, kind, taken, target),

@@ -1,0 +1,19 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! just enough of serde's surface for the workspace to compile: the trait
+//! names and the derive macros (which expand to nothing). Replace this
+//! vendored shim with the real `serde = { version = "1", features =
+//! ["derive"] }` once the registry is reachable; no source changes are
+//! needed, the annotations are already in place.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

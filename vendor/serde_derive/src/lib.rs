@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the derives are accepted and expand to
+//! nothing. The workspace only uses serde derives as annotations (no code
+//! path serializes through serde yet), so marker-trait impls are emitted by
+//! the `serde` shim's blanket impls instead of per-type generated code.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
