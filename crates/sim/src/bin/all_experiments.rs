@@ -4,14 +4,19 @@
 //! All figures' jobs are batched and executed on the engine's worker pool
 //! first, with each unique `(workload, design/BTB-spec, options)`
 //! simulation run exactly once across the whole suite; the figures then
-//! format from the warm cache. `--compare-serial` re-runs the same batch
-//! on a fresh single-threaded engine and reports the wall-clock speedup.
+//! format from the warm cache. With a persistent store attached
+//! (`--store-dir`, or `CONFLUENCE_STORE=DIR`), results also survive the
+//! process: a second run against the same store executes nothing and
+//! emits byte-identical reports. `--compare-serial` re-runs the same
+//! batch on a fresh single-threaded engine and reports the wall-clock
+//! speedup.
 //!
 //! Usage: `all_experiments [--quick] [--csv] [--markdown] [--serial]
-//! [--compare-serial] [--threads N]`
+//! [--compare-serial] [--threads N] [--store-dir DIR | --no-store]`
 
 use std::time::Instant;
 
+use confluence_sim::cli;
 use confluence_sim::experiments::{self, ExperimentConfig};
 use confluence_sim::report::Report;
 use confluence_sim::SimEngine;
@@ -50,6 +55,7 @@ fn main() {
     } else if let Some(n) = threads {
         engine = engine.with_threads(n);
     }
+    let engine = cli::attach_store(engine, &args);
 
     let jobs = experiments::all_jobs(&engine, &cfg);
     let unique = experiments::unique_jobs(&jobs);
@@ -64,12 +70,13 @@ fn main() {
     let elapsed = start.elapsed();
     let stats = engine.stats();
     assert_eq!(
-        stats.executed, unique as u64,
-        "engine must execute each unique simulation exactly once"
+        stats.executed + stats.disk_hits,
+        unique as u64,
+        "each unique simulation must be executed once or served from the store"
     );
     eprintln!(
-        "engine: executed {} simulations in {:.2?} ({} requests, {} cache hits)",
-        stats.executed, elapsed, stats.requests, stats.hits
+        "engine: executed {} simulations in {:.2?} ({} requests, {} memory hits, {} disk hits)",
+        stats.executed, elapsed, stats.requests, stats.hits, stats.disk_hits
     );
 
     let emit = |r: &Report| {
@@ -81,26 +88,33 @@ fn main() {
             println!("{}", r.to_table());
         }
     };
-
-    emit(&experiments::fig1(&engine, &cfg));
-    emit(&experiments::table2(&engine, &cfg));
-    emit(&experiments::fig8(&engine, &cfg));
-    emit(&experiments::fig9(&engine, &cfg));
-    emit(&experiments::fig10(&engine, &cfg));
-    emit(&experiments::l1i_coverage(&engine, &cfg));
-    emit(&experiments::area_table());
-    emit(&experiments::fig2(&engine, &cfg));
-    emit(&experiments::fig6(&engine, &cfg));
-    emit(&experiments::fig7(&engine, &cfg));
+    for report in experiments::suite_reports(&engine, &cfg) {
+        emit(&report);
+    }
 
     let final_stats = engine.stats();
     assert_eq!(
-        final_stats.executed, unique as u64,
+        (final_stats.executed, final_stats.disk_hits),
+        (stats.executed, stats.disk_hits),
         "formatting must be pure cache hits"
     );
+    eprintln!("{}", cli::cache_summary(&engine));
 
     if compare && !serial {
+        if engine.store().is_some() {
+            // Warm, the timed run measured disk reads; cold, it paid
+            // store writes the reference would not. Either way the
+            // comparison would be simulation-vs-something-else.
+            eprintln!(
+                "skipping serial comparison: a result store was attached to the timed \
+                 run ({} jobs served from disk), so wall-clocks are not comparable \
+                 (re-run with --no-store to compare)",
+                stats.disk_hits
+            );
+            return;
+        }
         eprintln!("re-running the batch serially for comparison...");
+        // No store: the reference must actually simulate.
         let reference = SimEngine::new(engine.workloads().to_vec()).with_threads(1);
         let start = Instant::now();
         reference.run(&jobs);

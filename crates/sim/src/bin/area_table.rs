@@ -1,4 +1,8 @@
 //! Regenerates the paper's storage/area accounting. Usage: `area_table [--csv]`.
+//!
+//! The table is pure arithmetic over the design points' storage profiles —
+//! no simulations run, so the suite-wide store options (`--store-dir`,
+//! `--no-store`, `CONFLUENCE_STORE`) are accepted but have nothing to do.
 
 use confluence_sim::experiments;
 

@@ -1,22 +1,7 @@
 //! Regenerates the paper's fig6 result through a [`confluence_sim::SimEngine`].
-//! Usage: `fig6 [--quick] [--csv]`.
-
-use confluence_sim::experiments::{self, ExperimentConfig};
+//! Usage: `fig6 [--quick] [--csv] [--store-dir DIR | --no-store]`.
+//! `CONFLUENCE_STORE=DIR` also enables the persistent result store.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let csv = args.iter().any(|a| a == "--csv");
-    let cfg = if quick {
-        ExperimentConfig::quick()
-    } else {
-        ExperimentConfig::full()
-    };
-    let engine = cfg.engine();
-    let r = experiments::fig6(&engine, &cfg);
-    if csv {
-        println!("{}", r.to_csv());
-    } else {
-        println!("{}", r.to_table());
-    }
+    confluence_sim::cli::run_figure(confluence_sim::experiments::fig6);
 }

@@ -1,8 +1,10 @@
 //! Regenerates the three timing figures (2, 6, 7) in one pass over a
 //! shared engine: the batched job set is deduplicated, so the Baseline and
 //! every design point shared between the figures is simulated once.
-//! Usage: `timing_figs [--quick] [--csv|--markdown]`.
+//! Usage: `timing_figs [--quick] [--csv|--markdown] [--store-dir DIR | --no-store]`.
+//! `CONFLUENCE_STORE=DIR` also enables the persistent result store.
 
+use confluence_sim::cli;
 use confluence_sim::experiments::{self, ExperimentConfig, FIG2_DESIGNS, FIG6_DESIGNS};
 use confluence_sim::report::Report;
 
@@ -16,7 +18,7 @@ fn main() {
     } else {
         ExperimentConfig::full()
     };
-    let engine = cfg.engine();
+    let engine = cli::attach_store(cfg.engine(), &args);
 
     // Batch all three figures' jobs so shared design points run once.
     let mut jobs = experiments::fig_perf_area_jobs(&engine, &FIG2_DESIGNS, &cfg);
@@ -27,9 +29,12 @@ fn main() {
     ));
     jobs.extend(experiments::fig7_jobs(&engine, &cfg));
     engine.run(&jobs);
+    let stats = engine.stats();
     eprintln!(
-        "engine: {} unique timing simulations for 3 figures",
-        engine.stats().executed
+        "engine: {} unique timing simulations for 3 figures ({} executed, {} from store)",
+        stats.executed + stats.disk_hits,
+        stats.executed,
+        stats.disk_hits
     );
 
     let emit = |r: &Report| {
@@ -44,4 +49,5 @@ fn main() {
     emit(&experiments::fig2(&engine, &cfg));
     emit(&experiments::fig6(&engine, &cfg));
     emit(&experiments::fig7(&engine, &cfg));
+    eprintln!("{}", cli::cache_summary(&engine));
 }

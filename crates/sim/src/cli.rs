@@ -1,0 +1,154 @@
+//! Shared command-line plumbing for the figure binaries: every runner
+//! accepts the same persistent-store options and prints the same cache
+//! summary.
+//!
+//! Resolution order for the store directory:
+//!
+//! 1. `--no-store` — run with the in-memory cache only;
+//! 2. `--store-dir DIR` — explicit location;
+//! 3. `CONFLUENCE_STORE=DIR` — environment override for CI and shells;
+//! 4. otherwise no persistence.
+//!
+//! The store is always opened at the current [`SCHEMA_VERSION`]
+//! (`crate::codec`), so entries written by older schemas are invisible
+//! rather than wrong.
+
+use std::path::PathBuf;
+
+use confluence_store::ResultStore;
+
+use crate::codec::SCHEMA_VERSION;
+use crate::engine::SimEngine;
+use crate::experiments::ExperimentConfig;
+use crate::report::Report;
+
+/// Environment variable naming the default store directory.
+pub const STORE_ENV: &str = "CONFLUENCE_STORE";
+
+/// The store directory the given command line asks for, if any.
+/// Exits with status 2 on a malformed `--store-dir`.
+pub fn store_dir_from_args(args: &[String]) -> Option<PathBuf> {
+    if args.iter().any(|a| a == "--no-store") {
+        return None;
+    }
+    if let Some(dir) = args.iter().find_map(|a| a.strip_prefix("--store-dir=")) {
+        if dir.is_empty() {
+            eprintln!("error: --store-dir requires a path");
+            std::process::exit(2);
+        }
+        return Some(PathBuf::from(dir));
+    }
+    if let Some(i) = args.iter().position(|a| a == "--store-dir") {
+        match args.get(i + 1) {
+            Some(dir) if !dir.starts_with("--") => return Some(PathBuf::from(dir)),
+            _ => {
+                eprintln!("error: --store-dir requires a path");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::env::var_os(STORE_ENV)
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Attaches the persistent store requested by `args` (if any) to an
+/// engine. Exits with status 2 if an explicitly requested store cannot
+/// be opened — silently dropping persistence the caller asked for would
+/// waste every simulation in the run.
+pub fn attach_store(engine: SimEngine, args: &[String]) -> SimEngine {
+    match store_dir_from_args(args) {
+        Some(dir) => match ResultStore::open(&dir, SCHEMA_VERSION) {
+            Ok(store) => engine.with_store(store),
+            Err(e) => {
+                eprintln!("error: cannot open result store at {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        },
+        None => engine,
+    }
+}
+
+/// The whole main of a single-figure binary: parse the shared flags
+/// (`--quick`, `--csv`, the store options), build the engine, render the
+/// figure produced by `figure`, and print the cache summary to stderr.
+/// The nine `figN`-style binaries differ only in the formatter they
+/// pass.
+pub fn run_figure(figure: fn(&SimEngine, &ExperimentConfig) -> Report) {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let cfg = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::full()
+    };
+    let engine = attach_store(cfg.engine(), &args);
+    let r = figure(&engine, &cfg);
+    if csv {
+        println!("{}", r.to_csv());
+    } else {
+        println!("{}", r.to_table());
+    }
+    eprintln!("{}", cache_summary(&engine));
+}
+
+/// One-line cache accounting for a finished run, printed to stderr by
+/// every binary so report output on stdout stays byte-comparable.
+pub fn cache_summary(engine: &SimEngine) -> String {
+    let stats = engine.stats();
+    let store = match engine.store() {
+        Some(s) => format!(
+            "store {} (schema v{}, {} entries)",
+            s.root().display(),
+            s.schema(),
+            s.len()
+        ),
+        None => "store disabled".to_string(),
+    };
+    format!(
+        "cache: {} requests = {} executed + {} memory hits + {} disk hits; {}",
+        stats.requests, stats.executed, stats.hits, stats.disk_hits, store
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_store_wins_over_everything() {
+        assert_eq!(
+            store_dir_from_args(&args(&["--store-dir", "/tmp/x", "--no-store"])),
+            None
+        );
+    }
+
+    #[test]
+    fn explicit_dir_is_used() {
+        assert_eq!(
+            store_dir_from_args(&args(&["--quick", "--store-dir", "/tmp/x"])),
+            Some(PathBuf::from("/tmp/x"))
+        );
+    }
+
+    #[test]
+    fn equals_form_is_supported() {
+        assert_eq!(
+            store_dir_from_args(&args(&["--store-dir=/tmp/y"])),
+            Some(PathBuf::from("/tmp/y"))
+        );
+    }
+
+    #[test]
+    fn absent_flags_and_env_mean_no_store() {
+        // The test runner never sets CONFLUENCE_STORE; guard anyway.
+        if std::env::var_os(STORE_ENV).is_none() {
+            assert_eq!(store_dir_from_args(&args(&["--quick"])), None);
+        }
+    }
+}

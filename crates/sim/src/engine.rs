@@ -12,15 +12,26 @@
 //! and each job builds its own structures from a [`crate::BtbSpec`]
 //! factory), so parallel and serial execution produce byte-identical
 //! results; `engine_determinism` in the integration suite asserts this.
+//!
+//! With a [`ResultStore`] attached ([`SimEngine::with_store`]) the cache
+//! grows a second, persistent tier: a claimed key consults **memory →
+//! disk → execute**, fresh executions are spilled back to disk, and a
+//! later process re-running the same jobs serves them all from the store
+//! (`disk_hits` in [`EngineStats`]). Corrupt or stale entries fail the
+//! store's verification and simply re-execute. In-flight blocking
+//! semantics are unchanged: racing requests for a key wait on whichever
+//! thread claimed it, whether that thread loads from disk or simulates.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use confluence_store::ResultStore;
 use confluence_trace::{Program, Workload};
 
 use crate::cmp::{simulate_cmp, TimingResult};
+use crate::codec::{output_matches, StoreKey};
 use crate::coverage::{branch_density, run_coverage_with, CoverageResult};
 use crate::job::{CoverageJob, DensityJob, Job, JobOutput, TimingJob};
 
@@ -31,9 +42,12 @@ pub struct EngineStats {
     pub requests: u64,
     /// Unique jobs actually simulated.
     pub executed: u64,
-    /// Requests satisfied from the cache (or by waiting on an in-flight
-    /// execution of the same key).
+    /// Requests satisfied from the in-memory cache (or by waiting on an
+    /// in-flight execution of the same key).
     pub hits: u64,
+    /// Unique jobs served from the persistent result store instead of
+    /// being simulated.
+    pub disk_hits: u64,
 }
 
 /// What a filled cache slot holds: the job's output, or a record that the
@@ -66,9 +80,11 @@ pub struct SimEngine {
     workloads: Vec<(Workload, Arc<Program>)>,
     threads: usize,
     cache: Mutex<HashMap<Job, Arc<Slot>>>,
+    store: Option<ResultStore>,
     requests: AtomicU64,
     executed: AtomicU64,
     hits: AtomicU64,
+    disk_hits: AtomicU64,
 }
 
 impl SimEngine {
@@ -82,9 +98,11 @@ impl SimEngine {
             workloads,
             threads,
             cache: Mutex::new(HashMap::new()),
+            store: None,
             requests: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
         }
     }
 
@@ -93,6 +111,19 @@ impl SimEngine {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Attaches a persistent result store as the second cache tier:
+    /// lookups go memory → disk → execute, and fresh executions are
+    /// written back to the store.
+    pub fn with_store(mut self, store: ResultStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&ResultStore> {
+        self.store.as_ref()
     }
 
     /// The worker-pool width.
@@ -124,6 +155,7 @@ impl SimEngine {
             requests: self.requests.load(Ordering::Relaxed),
             executed: self.executed.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -221,14 +253,28 @@ impl SimEngine {
             }
         };
         if claimed {
-            // Catch panics so racing waiters on this key re-panic instead
-            // of blocking forever on a slot that will never fill.
-            let outcome =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute(job)));
+            // Catch panics over the whole claimed path — disk tier
+            // included, since `store_key`/`program` can panic too — so
+            // racing waiters on this key re-panic instead of blocking
+            // forever on a slot that will never fill.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                match self.load_from_store(job) {
+                    Some(out) => (out, true),
+                    None => {
+                        let output = self.execute(job);
+                        self.save_to_store(job, &output);
+                        (Arc::new(output), false)
+                    }
+                }
+            }));
             match outcome {
-                Ok(output) => {
-                    let out = Arc::new(output);
-                    self.executed.fetch_add(1, Ordering::Relaxed);
+                Ok((out, from_disk)) => {
+                    let counter = if from_disk {
+                        &self.disk_hits
+                    } else {
+                        &self.executed
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
                     slot.fill(Ok(Arc::clone(&out)));
                     out
                 }
@@ -247,6 +293,37 @@ impl SimEngine {
                 Ok(out) => Arc::clone(out),
                 Err(msg) => panic!("waited-on {msg}"),
             }
+        }
+    }
+
+    /// The persistent key for `job`: the job plus the spec its program
+    /// was generated from, so runs over differently-tuned programs never
+    /// share an entry even when the `Job` itself is equal.
+    fn store_key<'a>(&'a self, job: &'a Job) -> StoreKey<'a> {
+        StoreKey {
+            spec: self.program(job.workload()).spec(),
+            job,
+        }
+    }
+
+    /// Disk tier of a claimed fetch. `None` on any miss: absent store,
+    /// absent entry, failed verification, or (belt and braces) an entry
+    /// whose output kind does not answer this job.
+    fn load_from_store(&self, job: &Job) -> Option<Arc<JobOutput>> {
+        let store = self.store.as_ref()?;
+        let output: JobOutput = store.load(&self.store_key(job))?;
+        if !output_matches(job, &output) {
+            return None;
+        }
+        Some(Arc::new(output))
+    }
+
+    /// Spills a fresh execution to the store. Best-effort: a write
+    /// failure (full disk, read-only store) costs a re-simulation in the
+    /// next process, never correctness, so it is not propagated.
+    fn save_to_store(&self, job: &Job, output: &JobOutput) {
+        if let Some(store) = &self.store {
+            let _ = store.save(&self.store_key(job), output);
         }
     }
 
@@ -363,6 +440,181 @@ mod tests {
         // A second identical batch is all hits.
         engine.run(&batch);
         assert_eq!(engine.stats().executed, 3);
+    }
+
+    /// A fresh store directory under the system temp dir; removed on drop.
+    struct StoreDir(std::path::PathBuf);
+
+    impl StoreDir {
+        fn new(tag: &str) -> StoreDir {
+            let path = std::env::temp_dir().join(format!(
+                "confluence-engine-store-{tag}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&path);
+            StoreDir(path)
+        }
+
+        fn open(&self) -> ResultStore {
+            ResultStore::open(&self.0, crate::codec::SCHEMA_VERSION).expect("temp dir writable")
+        }
+    }
+
+    impl Drop for StoreDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn tiny_job() -> CoverageJob {
+        CoverageJob {
+            workload: Workload::WebFrontend,
+            btb: BtbSpec::Baseline1k,
+            opts: tiny_opts(),
+        }
+    }
+
+    /// The on-disk entry file for `job` in a tiny engine's store.
+    fn tiny_entry_path(engine: &SimEngine, job: &CoverageJob) -> std::path::PathBuf {
+        let job = Job::Coverage(job.clone());
+        let key = StoreKey {
+            spec: engine.program(Workload::WebFrontend).spec(),
+            job: &job,
+        };
+        engine.store().expect("store attached").entry_path(&key)
+    }
+
+    #[test]
+    fn second_engine_serves_from_disk() {
+        let dir = StoreDir::new("warm");
+        let job = tiny_job();
+
+        let cold = tiny_engine().with_store(dir.open());
+        let first = cold.coverage(&job);
+        assert_eq!(cold.stats().executed, 1);
+        assert_eq!(cold.stats().disk_hits, 0);
+        assert_eq!(cold.store().unwrap().len(), 1);
+
+        // A fresh engine (fresh process, in spirit) re-derives nothing.
+        let warm = tiny_engine().with_store(dir.open());
+        let second = warm.coverage(&job);
+        assert_eq!(second, first, "stored result must equal the fresh one");
+        let stats = warm.stats();
+        assert_eq!(stats.executed, 0, "warm run must not simulate");
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.hits, 0);
+
+        // Within the warm engine, later requests are memory hits, not
+        // repeated disk reads.
+        warm.coverage(&job);
+        assert_eq!(warm.stats().disk_hits, 1);
+        assert_eq!(warm.stats().hits, 1);
+    }
+
+    #[test]
+    fn truncated_entry_is_resimulated_and_overwritten() {
+        let dir = StoreDir::new("truncate");
+        let job = tiny_job();
+
+        let cold = tiny_engine().with_store(dir.open());
+        let expected = cold.coverage(&job);
+        let path = tiny_entry_path(&cold, &job);
+        let clean = std::fs::read(&path).expect("entry written");
+        std::fs::write(&path, &clean[..clean.len() / 2]).unwrap();
+
+        let repaired = tiny_engine().with_store(dir.open());
+        assert_eq!(repaired.coverage(&job), expected);
+        let stats = repaired.stats();
+        assert_eq!(stats.executed, 1, "corrupt entry must re-simulate");
+        assert_eq!(stats.disk_hits, 0);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            clean,
+            "re-simulation must overwrite the corrupt entry in place"
+        );
+
+        // The overwritten entry serves the next engine from disk again.
+        let warm = tiny_engine().with_store(dir.open());
+        assert_eq!(warm.coverage(&job), expected);
+        assert_eq!(warm.stats().disk_hits, 1);
+    }
+
+    #[test]
+    fn bit_flipped_entry_is_resimulated_not_trusted() {
+        let dir = StoreDir::new("bitflip");
+        let job = tiny_job();
+
+        let cold = tiny_engine().with_store(dir.open());
+        let expected = cold.coverage(&job);
+        let path = tiny_entry_path(&cold, &job);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit in the middle of the value region.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let repaired = tiny_engine().with_store(dir.open());
+        assert_eq!(
+            repaired.coverage(&job),
+            expected,
+            "garbled entry must never leak into results"
+        );
+        assert_eq!(repaired.stats().executed, 1);
+        assert_eq!(repaired.stats().disk_hits, 0);
+    }
+
+    /// Regression: with a store attached, the disk tier runs *inside*
+    /// the claimed path's panic guard. A job whose workload the engine
+    /// lacks panics in `store_key` — racing waiters must re-panic, not
+    /// block forever on a slot that never fills.
+    #[test]
+    fn store_tier_panic_reaches_waiters_instead_of_deadlocking() {
+        let dir = StoreDir::new("panic");
+        let engine = tiny_engine().with_store(dir.open());
+        // tiny_engine only has WebFrontend.
+        let job = CoverageJob {
+            workload: Workload::OltpDb2,
+            ..tiny_job()
+        };
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    scope.spawn(|| {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            engine.coverage(&job)
+                        }))
+                        .is_err()
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert!(h.join().unwrap(), "every request must observe the panic");
+            }
+        });
+    }
+
+    #[test]
+    fn run_batches_mix_disk_hits_and_executions() {
+        let dir = StoreDir::new("batch");
+        let a: Job = tiny_job().into();
+        let b: Job = CoverageJob {
+            btb: BtbSpec::Perfect,
+            ..tiny_job()
+        }
+        .into();
+
+        let cold = tiny_engine().with_store(dir.open());
+        cold.run(std::slice::from_ref(&a));
+        assert_eq!(cold.stats().executed, 1);
+
+        // Warm engine: `a` comes from disk, `b` still executes; both are
+        // persisted afterwards.
+        let mixed = tiny_engine().with_store(dir.open()).with_threads(2);
+        mixed.run(&[a.clone(), b.clone()]);
+        let stats = mixed.stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.executed, 1);
+        assert_eq!(mixed.store().unwrap().len(), 2);
     }
 
     #[test]

@@ -688,6 +688,26 @@ pub fn unique_jobs(jobs: &[Job]) -> usize {
     jobs.iter().collect::<std::collections::HashSet<_>>().len()
 }
 
+/// Every report of the full suite, in the presentation order the
+/// `all_experiments` binary prints. Batch [`all_jobs`] through the engine
+/// first so the formatters here read a warm cache; the warm-store
+/// determinism test renders this twice (fresh engine, same store) and
+/// asserts byte-identical output with zero executions.
+pub fn suite_reports(engine: &SimEngine, cfg: &ExperimentConfig) -> Vec<Report> {
+    vec![
+        fig1(engine, cfg),
+        table2(engine, cfg),
+        fig8(engine, cfg),
+        fig9(engine, cfg),
+        fig10(engine, cfg),
+        l1i_coverage(engine, cfg),
+        area_table(),
+        fig2(engine, cfg),
+        fig6(engine, cfg),
+        fig7(engine, cfg),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

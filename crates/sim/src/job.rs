@@ -191,8 +191,10 @@ impl From<DensityJob> for Job {
     }
 }
 
-/// Result of one executed [`Job`], cached by the engine.
-#[derive(Clone, Debug)]
+/// Result of one executed [`Job`], cached by the engine. `PartialEq`
+/// compares timing results structurally and densities bit-for-bit, which
+/// is exactly what the persistent store's round-trip tests need.
+#[derive(Clone, Debug, PartialEq)]
 pub enum JobOutput {
     /// Counters from a coverage run.
     Coverage(CoverageResult),

@@ -3,7 +3,9 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 mod cmp;
+pub mod codec;
 mod coverage;
 mod designs;
 mod engine;
@@ -13,6 +15,7 @@ pub mod report;
 mod timing;
 
 pub use cmp::{simulate_cmp, TimingConfig, TimingResult};
+pub use codec::SCHEMA_VERSION;
 pub use coverage::{
     branch_density, run_coverage, run_coverage_with, CoverageOptions, CoverageResult,
 };

@@ -48,7 +48,7 @@ const PREFETCH_SLOTS: usize = 32;
 const FDP_REGION_ACCURACY: f64 = 0.72;
 
 /// Measured-phase counters for one core.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Cycles in the measured phase.
     pub cycles: u64,

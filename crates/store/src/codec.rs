@@ -1,0 +1,228 @@
+//! The [`Encode`]/[`Decode`] traits of the hand-rolled versioned binary
+//! codec, plus impls for the primitives every schema is built from.
+//!
+//! The conventions are deliberately minimal and stable:
+//!
+//! - integers (`u32`/`u64`/`usize`) are LEB128 varints;
+//! - `bool` is one byte, `0` or `1` (anything else is a decode error);
+//! - `f64` is its fixed-width IEEE-754 bit pattern (bit-exact);
+//! - `str` is a varint-length-prefixed UTF-8 byte string;
+//! - `Vec<T>` is a varint count followed by its elements;
+//! - enums are a 1-byte tag followed by the variant's fields (tags are
+//!   assigned by each schema and pinned by golden-bytes tests).
+//!
+//! Schema evolution is by versioning, not negotiation: a type's encoding
+//! never changes in place — consumers bump their schema version (see
+//! `ResultStore`) and old entries are simply left behind.
+
+use crate::wire::{self, Reader, WireError};
+
+/// A value that can be written to the wire.
+pub trait Encode {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// This value's encoding as a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// A value that can be read back from the wire.
+pub trait Decode: Sized {
+    /// Reads one value from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Errors on truncated input, unknown tags, or malformed fields.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// Decodes a buffer that must contain exactly one value.
+    ///
+    /// # Errors
+    ///
+    /// Errors as [`Decode::decode`] does, or if trailing bytes remain.
+    fn from_bytes(data: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(data);
+        let value = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(r.error("trailing bytes after value"));
+        }
+        Ok(value)
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_varint(out, *self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.varint()
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_varint(out, u64::from(*self));
+    }
+}
+
+impl Decode for u32 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let start = r.offset();
+        u32::try_from(r.varint()?).map_err(|_| WireError {
+            offset: start,
+            reason: "varint overflows u32",
+        })
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_usize(out, *self);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.usize_varint()
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let start = r.offset();
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError {
+                offset: start,
+                reason: "invalid bool byte",
+            }),
+        }
+    }
+}
+
+impl Encode for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_f64(out, *self);
+    }
+}
+
+impl Decode for f64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.f64_bits()
+    }
+}
+
+impl Encode for str {
+    fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_length_prefixed(out, self.as_bytes());
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_usize(out, self.len());
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.usize_varint()?;
+        // Guard the allocation against garbled counts: a buffer holding
+        // `len` items is at least `len` bytes long.
+        if len > r.remaining() {
+            return Err(r.error("element count exceeds buffer"));
+        }
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(T::decode(r)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(-0.0f64);
+        roundtrip(f64::NAN.to_bits() as f64);
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip((7usize, 3.5f64));
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        let bytes = f64::NAN.to_bytes();
+        let back = f64::from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bits(), f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn invalid_bool_errors() {
+        assert_eq!(
+            bool::from_bytes(&[2]).unwrap_err().reason,
+            "invalid bool byte"
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut bytes = 5u64.to_bytes();
+        bytes.push(0);
+        assert!(u64::from_bytes(&bytes)
+            .unwrap_err()
+            .to_string()
+            .contains("trailing"));
+    }
+
+    #[test]
+    fn garbled_vec_count_is_rejected_without_allocating() {
+        let mut bytes = Vec::new();
+        wire::put_varint(&mut bytes, u64::MAX / 2);
+        assert!(Vec::<u64>::from_bytes(&bytes).is_err());
+    }
+}

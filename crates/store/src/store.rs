@@ -1,0 +1,303 @@
+//! The persistent content-addressed result store.
+//!
+//! One entry per key, one file per entry, under
+//! `<dir>/v<schema>/<fnv64-of-key>.bin`. Results must be a pure function
+//! of their key: the store never invalidates, it only segregates by
+//! schema version. Every read is fully verified — checksum, header, and
+//! an exact comparison of the embedded key bytes against the probe key —
+//! so truncated, garbled, or hash-colliding entries behave like misses
+//! and are later overwritten by a fresh [`ResultStore::save`].
+//!
+//! Entry layout (all integers little-endian, lengths LEB128):
+//!
+//! ```text
+//! magic   b"CFRS"
+//! u8      container version (1)
+//! u32     caller schema version
+//! bytes   key   (varint length + encoded key)
+//! bytes   value (varint length + encoded value)
+//! u64     FNV-1a checksum of every preceding byte
+//! ```
+//!
+//! Writes go to a process+sequence-unique `.tmp` sibling and are
+//! `rename`d into place, so concurrent writers (threads or processes)
+//! leave either the old entry or a complete new one, never a torn file.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::codec::{Decode, Encode};
+use crate::wire::{self, Reader};
+
+const MAGIC: [u8; 4] = *b"CFRS";
+const CONTAINER_VERSION: u8 = 1;
+/// magic + container version + schema + trailing checksum.
+const MIN_ENTRY_LEN: usize = 4 + 1 + 4 + 8;
+
+/// A persistent, content-addressed map from encoded keys to encoded
+/// values, safe for concurrent use from multiple threads and processes.
+#[derive(Debug)]
+pub struct ResultStore {
+    root: PathBuf,
+    schema: u32,
+    tmp_seq: AtomicU64,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store under `dir`, scoped to
+    /// `schema`. Entries written under other schema versions are
+    /// invisible.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the versioned directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>, schema: u32) -> io::Result<ResultStore> {
+        let root = dir.into().join(format!("v{schema}"));
+        fs::create_dir_all(&root)?;
+        Ok(ResultStore {
+            root,
+            schema,
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The schema version this store was opened with.
+    pub fn schema(&self) -> u32 {
+        self.schema
+    }
+
+    /// The versioned directory entries live in.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The file an entry for `key` lives at (whether or not it exists).
+    pub fn entry_path(&self, key: &impl Encode) -> PathBuf {
+        self.path_for(&key.to_bytes())
+    }
+
+    fn path_for(&self, key_bytes: &[u8]) -> PathBuf {
+        self.root
+            .join(format!("{:016x}.bin", wire::fnv1a(key_bytes)))
+    }
+
+    /// Looks up `key`, returning its decoded value. Any failure — missing
+    /// file, bad checksum, wrong schema, foreign key in the slot, decode
+    /// error — is a miss (`None`): a corrupt entry must never be trusted,
+    /// and the caller's re-computation will overwrite it.
+    pub fn load<V: Decode>(&self, key: &impl Encode) -> Option<V> {
+        let key_bytes = key.to_bytes();
+        let data = fs::read(self.path_for(&key_bytes)).ok()?;
+        parse_entry(&data, self.schema, &key_bytes)
+    }
+
+    /// Writes `key -> value`, replacing any previous entry (including a
+    /// corrupt one) atomically.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the temporary file cannot be written or renamed into
+    /// place. The previous entry, if any, is untouched on error.
+    pub fn save(&self, key: &impl Encode, value: &impl Encode) -> io::Result<()> {
+        let key_bytes = key.to_bytes();
+        let mut body = Vec::new();
+        body.extend_from_slice(&MAGIC);
+        body.push(CONTAINER_VERSION);
+        wire::put_u32_le(&mut body, self.schema);
+        wire::put_length_prefixed(&mut body, &key_bytes);
+        wire::put_length_prefixed(&mut body, &value.to_bytes());
+        let checksum = wire::fnv1a(&body);
+        wire::put_u64_le(&mut body, checksum);
+
+        let final_path = self.path_for(&key_bytes);
+        let tmp_path = final_path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        // On any failure, sweep the partial tmp file so aborted saves
+        // (full disk, revoked permissions) don't accumulate strays.
+        fs::write(&tmp_path, &body)
+            .and_then(|()| fs::rename(&tmp_path, &final_path))
+            .inspect_err(|_| {
+                let _ = fs::remove_file(&tmp_path);
+            })
+    }
+
+    /// Number of entries currently on disk for this schema version.
+    pub fn len(&self) -> usize {
+        let Ok(entries) = fs::read_dir(&self.root) else {
+            return 0;
+        };
+        entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "bin"))
+            .count()
+    }
+
+    /// True when no entries exist for this schema version.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Verifies and decodes one entry buffer; `None` on any defect.
+fn parse_entry<V: Decode>(data: &[u8], schema: u32, key_bytes: &[u8]) -> Option<V> {
+    if data.len() < MIN_ENTRY_LEN {
+        return None;
+    }
+    let (body, tail) = data.split_at(data.len() - 8);
+    let stored_checksum = u64::from_le_bytes(tail.try_into().unwrap());
+    if wire::fnv1a(body) != stored_checksum {
+        return None;
+    }
+    let mut r = Reader::new(body);
+    if r.bytes(4).ok()? != MAGIC {
+        return None;
+    }
+    if r.u8().ok()? != CONTAINER_VERSION {
+        return None;
+    }
+    if r.u32_le().ok()? != schema {
+        return None;
+    }
+    if r.length_prefixed().ok()? != key_bytes {
+        return None;
+    }
+    let value_bytes = r.length_prefixed().ok()?;
+    if !r.is_empty() {
+        return None;
+    }
+    V::from_bytes(value_bytes).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    /// A fresh store directory per test (same process, distinct names).
+    struct TestDir(PathBuf);
+
+    impl TestDir {
+        fn new() -> TestDir {
+            let path = std::env::temp_dir().join(format!(
+                "confluence-store-unit-{}-{}",
+                std::process::id(),
+                DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = fs::remove_dir_all(&path);
+            TestDir(path)
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn save_then_load_roundtrips() {
+        let dir = TestDir::new();
+        let store = ResultStore::open(&dir.0, 1).unwrap();
+        store.save(&7u64, &vec![1u64, 2, 3]).unwrap();
+        assert_eq!(store.load::<Vec<u64>>(&7u64), Some(vec![1, 2, 3]));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn missing_key_is_none() {
+        let dir = TestDir::new();
+        let store = ResultStore::open(&dir.0, 1).unwrap();
+        assert_eq!(store.load::<u64>(&1u64), None);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn overwrite_replaces_the_value() {
+        let dir = TestDir::new();
+        let store = ResultStore::open(&dir.0, 1).unwrap();
+        store.save(&1u64, &10u64).unwrap();
+        store.save(&1u64, &20u64).unwrap();
+        assert_eq!(store.load::<u64>(&1u64), Some(20));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn schema_versions_are_segregated() {
+        let dir = TestDir::new();
+        let v1 = ResultStore::open(&dir.0, 1).unwrap();
+        let v2 = ResultStore::open(&dir.0, 2).unwrap();
+        v1.save(&1u64, &10u64).unwrap();
+        assert_eq!(v2.load::<u64>(&1u64), None);
+        assert_eq!(v1.load::<u64>(&1u64), Some(10));
+    }
+
+    #[test]
+    fn truncated_entry_is_a_miss() {
+        let dir = TestDir::new();
+        let store = ResultStore::open(&dir.0, 1).unwrap();
+        store.save(&1u64, &10u64).unwrap();
+        let path = store.entry_path(&1u64);
+        let bytes = fs::read(&path).unwrap();
+        for keep in 0..bytes.len() {
+            fs::write(&path, &bytes[..keep]).unwrap();
+            assert_eq!(store.load::<u64>(&1u64), None, "kept {keep} bytes");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_a_miss() {
+        let dir = TestDir::new();
+        let store = ResultStore::open(&dir.0, 1).unwrap();
+        store.save(&3u64, &0xABCDu64).unwrap();
+        let path = store.entry_path(&3u64);
+        let clean = fs::read(&path).unwrap();
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut garbled = clean.clone();
+                garbled[byte] ^= 1 << bit;
+                fs::write(&path, &garbled).unwrap();
+                assert_eq!(
+                    store.load::<u64>(&3u64),
+                    None,
+                    "flip of byte {byte} bit {bit} must not be trusted"
+                );
+            }
+        }
+        // And a fresh save repairs the slot.
+        store.save(&3u64, &0xABCDu64).unwrap();
+        assert_eq!(store.load::<u64>(&3u64), Some(0xABCD));
+    }
+
+    #[test]
+    fn foreign_key_in_the_slot_is_a_miss() {
+        let dir = TestDir::new();
+        let store = ResultStore::open(&dir.0, 1).unwrap();
+        store.save(&1u64, &10u64).unwrap();
+        // Simulate an FNV collision: move the entry into another key's slot.
+        let other_path = store.entry_path(&2u64);
+        fs::rename(store.entry_path(&1u64), other_path).unwrap();
+        assert_eq!(store.load::<u64>(&2u64), None);
+    }
+
+    #[test]
+    fn no_tmp_files_survive_a_save() {
+        let dir = TestDir::new();
+        let store = ResultStore::open(&dir.0, 1).unwrap();
+        for k in 0..16u64 {
+            store.save(&k, &(k * 2)).unwrap();
+        }
+        let stray: Vec<_> = fs::read_dir(store.root())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_none_or(|x| x != "bin"))
+            .collect();
+        assert!(stray.is_empty(), "stray files: {stray:?}");
+    }
+}

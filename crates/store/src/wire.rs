@@ -1,0 +1,315 @@
+//! Low-level wire primitives shared by every binary codec in the
+//! workspace: fixed-width little-endian integers, LEB128 varints,
+//! length-prefixed byte strings, and the FNV-1a checksum.
+//!
+//! Writers are free functions over `Vec<u8>`; reads go through [`Reader`],
+//! an offset-tracking cursor whose errors ([`WireError`]) name the byte
+//! where decoding failed. The trace serializer
+//! (`confluence_trace::serialize`) and the result-store codec are both
+//! built on these helpers, so framing bugs get fixed in one place.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when decoding a malformed buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode failed at byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl Error for WireError {}
+
+/// Offset-tracking read cursor over a byte buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Current byte offset from the start of the buffer.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// A [`WireError`] at the current offset.
+    pub fn error(&self, reason: &'static str) -> WireError {
+        WireError {
+            offset: self.pos,
+            reason,
+        }
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Errors if fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(self.error("truncated"));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the buffer is exhausted.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a fixed-width little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if fewer than 4 bytes remain.
+    pub fn u32_le(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a fixed-width little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if fewer than 8 bytes remain.
+    pub fn u64_le(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` stored as its IEEE-754 bit pattern (bit-exact,
+    /// which is what makes stored results byte-identical to fresh ones).
+    ///
+    /// # Errors
+    ///
+    /// Errors if fewer than 8 bytes remain.
+    pub fn f64_bits(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64_le()?))
+    }
+
+    /// Reads a LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// Errors on truncation or a value that overflows 64 bits.
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        let start = self.pos;
+        let mut value: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8().map_err(|_| WireError {
+                offset: start,
+                reason: "truncated varint",
+            })?;
+            let chunk = (byte & 0x7F) as u64;
+            if shift == 63 && chunk > 1 {
+                return Err(WireError {
+                    offset: start,
+                    reason: "varint overflows u64",
+                });
+            }
+            value |= chunk << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(WireError {
+            offset: start,
+            reason: "varint overflows u64",
+        })
+    }
+
+    /// Reads a varint that must fit a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Errors on truncation, overflow, or a value wider than `usize`.
+    pub fn usize_varint(&mut self) -> Result<usize, WireError> {
+        let start = self.pos;
+        usize::try_from(self.varint()?).map_err(|_| WireError {
+            offset: start,
+            reason: "varint overflows usize",
+        })
+    }
+
+    /// Reads a varint-length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the prefix is malformed or the body is truncated.
+    pub fn length_prefixed(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.usize_varint()?;
+        self.bytes(len)
+    }
+}
+
+/// Appends a fixed-width little-endian `u32`.
+pub fn put_u32_le(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a fixed-width little-endian `u64`.
+pub fn put_u64_le(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64_le(out, v.to_bits());
+}
+
+/// Appends a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a `usize` as a varint.
+pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_varint(out, v as u64);
+}
+
+/// Appends a varint-length-prefixed byte string.
+pub fn put_length_prefixed(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_usize(out, bytes.len());
+    out.extend_from_slice(bytes);
+}
+
+/// 64-bit FNV-1a over `data` — the store's key hash and entry checksum.
+/// Not cryptographic; collisions are tolerated because entries embed the
+/// full key and are compared before use.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrips_boundary_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v, "value {v}");
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_is_minimal_for_small_values() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 127);
+        assert_eq!(buf, vec![127]);
+        buf.clear();
+        put_varint(&mut buf, 128);
+        assert_eq!(buf, vec![0x80, 0x01]);
+    }
+
+    #[test]
+    fn truncated_varint_errors_at_its_start() {
+        let err = Reader::new(&[0x80]).varint().unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert!(err.to_string().contains("truncated varint"));
+    }
+
+    #[test]
+    fn overlong_varint_errors() {
+        // 11 continuation bytes can never terminate inside 64 bits.
+        let buf = [0xFF; 11];
+        let err = Reader::new(&buf).varint().unwrap_err();
+        assert!(err.to_string().contains("overflows"));
+    }
+
+    #[test]
+    fn length_prefixed_roundtrips() {
+        let mut buf = Vec::new();
+        put_length_prefixed(&mut buf, b"hello");
+        put_length_prefixed(&mut buf, b"");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.length_prefixed().unwrap(), b"hello");
+        assert_eq!(r.length_prefixed().unwrap(), b"");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn length_prefix_beyond_buffer_errors() {
+        let mut buf = Vec::new();
+        put_usize(&mut buf, 100);
+        buf.extend_from_slice(b"short");
+        assert!(Reader::new(&buf).length_prefixed().is_err());
+    }
+
+    #[test]
+    fn fixed_width_reads_track_offsets() {
+        let mut buf = Vec::new();
+        put_u32_le(&mut buf, 0xDEAD_BEEF);
+        put_u64_le(&mut buf, 42);
+        put_f64(&mut buf, -0.5);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32_le().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.offset(), 4);
+        assert_eq!(r.u64_le().unwrap(), 42);
+        assert_eq!(r.f64_bits().unwrap(), -0.5);
+        assert!(r.is_empty());
+        assert_eq!(r.u8().unwrap_err().reason, "truncated");
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

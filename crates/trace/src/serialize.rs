@@ -8,33 +8,21 @@
 //! tag 0x00:                plain instruction    [tag][pc: u64]
 //! tag 0x80 | kind | taken: branch instruction   [tag][pc: u64][target: u64]
 //! ```
+//!
+//! Framing is built on the workspace-wide wire primitives in
+//! [`confluence_store::wire`] — the same helpers behind the persistent
+//! result store's codec — so offset-tracked decode errors and integer
+//! encodings are shared rather than duplicated.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use confluence_store::wire::{self, Reader, WireError};
 use confluence_types::{BranchKind, TraceRecord, VAddr};
-use std::error::Error;
-use std::fmt;
+
+/// Error returned when decoding a malformed trace buffer (the shared
+/// wire-format error: byte offset plus reason).
+pub type DecodeTraceError = WireError;
 
 const TAG_BRANCH: u8 = 0x80;
 const TAG_TAKEN: u8 = 0x40;
-
-/// Error returned when decoding a malformed trace buffer.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct DecodeTraceError {
-    offset: usize,
-    reason: &'static str,
-}
-
-impl fmt::Display for DecodeTraceError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "trace decode failed at byte {}: {}",
-            self.offset, self.reason
-        )
-    }
-}
-
-impl Error for DecodeTraceError {}
 
 fn kind_code(kind: BranchKind) -> u8 {
     match kind {
@@ -60,26 +48,26 @@ fn code_kind(code: u8) -> Option<BranchKind> {
 }
 
 /// Encodes records into a binary buffer.
-pub fn encode_records<I>(records: I) -> Bytes
+pub fn encode_records<I>(records: I) -> Vec<u8>
 where
     I: IntoIterator<Item = TraceRecord>,
 {
-    let mut buf = BytesMut::new();
+    let mut buf = Vec::new();
     for r in records {
         match r.branch {
             None => {
-                buf.put_u8(0);
-                buf.put_u64_le(r.pc.raw());
+                buf.push(0);
+                wire::put_u64_le(&mut buf, r.pc.raw());
             }
             Some(b) => {
                 let tag = TAG_BRANCH | if b.taken { TAG_TAKEN } else { 0 } | kind_code(b.kind);
-                buf.put_u8(tag);
-                buf.put_u64_le(r.pc.raw());
-                buf.put_u64_le(b.target.raw());
+                buf.push(tag);
+                wire::put_u64_le(&mut buf, r.pc.raw());
+                wire::put_u64_le(&mut buf, b.target.raw());
             }
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a buffer produced by [`encode_records`].
@@ -87,40 +75,29 @@ where
 /// # Errors
 ///
 /// Returns [`DecodeTraceError`] on truncated buffers or unknown tags.
-pub fn decode_records(mut data: &[u8]) -> Result<Vec<TraceRecord>, DecodeTraceError> {
-    let total = data.len();
+pub fn decode_records(data: &[u8]) -> Result<Vec<TraceRecord>, DecodeTraceError> {
+    let mut r = Reader::new(data);
     let mut out = Vec::new();
-    while data.has_remaining() {
-        let offset = total - data.remaining();
-        let tag = data.get_u8();
+    while !r.is_empty() {
+        let offset = r.offset();
+        let err = |reason| WireError { offset, reason };
+        let tag = r.u8().expect("reader is non-empty");
         if tag == 0 {
-            if data.remaining() < 8 {
-                return Err(DecodeTraceError {
-                    offset,
-                    reason: "truncated plain record",
-                });
-            }
-            out.push(TraceRecord::plain(VAddr::new(data.get_u64_le())));
+            let pc = r.u64_le().map_err(|_| err("truncated plain record"))?;
+            out.push(TraceRecord::plain(VAddr::new(pc)));
         } else if tag & TAG_BRANCH != 0 {
-            if data.remaining() < 16 {
-                return Err(DecodeTraceError {
-                    offset,
-                    reason: "truncated branch record",
-                });
-            }
-            let kind = code_kind(tag & 0x0F).ok_or(DecodeTraceError {
-                offset,
-                reason: "unknown branch kind",
-            })?;
+            let kind = code_kind(tag & 0x0F).ok_or_else(|| err("unknown branch kind"))?;
             let taken = tag & TAG_TAKEN != 0;
-            let pc = VAddr::new(data.get_u64_le());
-            let target = VAddr::new(data.get_u64_le());
-            out.push(TraceRecord::branch(pc, kind, taken, target));
+            let pc = r.u64_le().map_err(|_| err("truncated branch record"))?;
+            let target = r.u64_le().map_err(|_| err("truncated branch record"))?;
+            out.push(TraceRecord::branch(
+                VAddr::new(pc),
+                kind,
+                taken,
+                VAddr::new(target),
+            ));
         } else {
-            return Err(DecodeTraceError {
-                offset,
-                reason: "unknown tag",
-            });
+            return Err(err("unknown tag"));
         }
     }
     Ok(out)
@@ -147,6 +124,16 @@ mod tests {
         let encoded = encode_records(trace);
         let err = decode_records(&encoded[..encoded.len() - 3]).unwrap_err();
         assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn errors_name_the_failing_record_offset() {
+        let p = Program::generate(&WorkloadSpec::tiny()).unwrap();
+        let trace: Vec<_> = p.executor(1).take(2).collect();
+        let encoded = encode_records(trace.iter().copied());
+        let err = decode_records(&encoded[..encoded.len() - 1]).unwrap_err();
+        // The error points at the start of the record that failed, not 0.
+        assert!(err.offset > 0, "offset {}", err.offset);
     }
 
     #[test]

@@ -4,6 +4,7 @@ pub use confluence_btb as btb;
 pub use confluence_core as core;
 pub use confluence_prefetch as prefetch;
 pub use confluence_sim as sim;
+pub use confluence_store as store;
 pub use confluence_trace as trace;
 pub use confluence_types as types;
 pub use confluence_uarch as uarch;

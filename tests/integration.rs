@@ -215,3 +215,73 @@ fn shift_history_shared_across_cores_helps() {
         engine.confirmed()
     );
 }
+
+/// A disposable store directory under the system temp dir.
+struct StoreDir(std::path::PathBuf);
+
+impl StoreDir {
+    fn new(tag: &str) -> StoreDir {
+        let path = std::env::temp_dir().join(format!(
+            "confluence-integration-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        StoreDir(path)
+    }
+
+    fn open(&self) -> confluence::store::ResultStore {
+        confluence::store::ResultStore::open(&self.0, confluence::sim::SCHEMA_VERSION)
+            .expect("temp dir writable")
+    }
+}
+
+impl Drop for StoreDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The `all_experiments` warm-run guarantee, at the library level: a
+/// second full-suite run against the same store directory simulates
+/// nothing (`executed == 0`, every unique job a disk hit) and renders
+/// byte-identical reports in every output format.
+#[test]
+fn warm_store_suite_executes_nothing_and_is_byte_identical() {
+    let dir = StoreDir::new("warm-suite");
+    let cfg = experiments::ExperimentConfig::quick();
+    // Two workloads keep test time sane (mirrors the experiments tests).
+    let workloads: Vec<_> = cfg.workloads().into_iter().take(2).collect();
+
+    let render = |engine: &SimEngine| -> Vec<String> {
+        experiments::suite_reports(engine, &cfg)
+            .iter()
+            .flat_map(|r| [r.to_csv(), r.to_table(), r.to_markdown()])
+            .collect()
+    };
+
+    let cold = SimEngine::new(workloads.clone()).with_store(dir.open());
+    let jobs = experiments::all_jobs(&cold, &cfg);
+    let unique = experiments::unique_jobs(&jobs) as u64;
+    cold.run(&jobs);
+    let cold_reports = render(&cold);
+    let cold_stats = cold.stats();
+    assert_eq!(cold_stats.executed, unique, "cold run simulates everything");
+    assert_eq!(cold_stats.disk_hits, 0);
+
+    let warm = SimEngine::new(workloads).with_store(dir.open());
+    warm.run(&jobs);
+    let warm_reports = render(&warm);
+    let warm_stats = warm.stats();
+    assert_eq!(
+        warm_stats.executed, 0,
+        "warm run must not simulate anything"
+    );
+    assert_eq!(
+        warm_stats.disk_hits, unique,
+        "every unique job comes from disk"
+    );
+    assert_eq!(
+        warm_reports, cold_reports,
+        "warm reports must be byte-identical to cold ones"
+    );
+}

@@ -174,3 +174,265 @@ fn arb_record() -> impl Strategy<Value = TraceRecord> {
             Some((kind, taken, target)) => TraceRecord::branch(pc, kind, taken, target),
         })
 }
+
+// ---------------------------------------------------------------------------
+// Persistent-store codec: arbitrary jobs and outputs round-trip the
+// versioned binary schema (`confluence_sim::codec`).
+
+use confluence::sim::{
+    BtbSpec, CoverageJob, CoverageResult, DensityJob, Job, JobOutput, TimingJob,
+};
+use confluence::store::{Decode, Encode};
+use confluence_core::AirBtbMode;
+use confluence_sim::{
+    CoreStats, CoverageOptions, DesignPoint as Design, TimingConfig, TimingResult,
+};
+use confluence_uarch::{CoreParams, MemParams};
+use std::sync::Arc;
+
+fn arb_workload() -> impl Strategy<Value = confluence::trace::Workload> {
+    (0usize..confluence::trace::Workload::ALL.len())
+        .prop_map(|i| confluence::trace::Workload::ALL[i])
+}
+
+fn arb_design() -> impl Strategy<Value = Design> {
+    (0usize..Design::ALL.len()).prop_map(|i| Design::ALL[i])
+}
+
+fn arb_airbtb_mode() -> impl Strategy<Value = AirBtbMode> {
+    prop_oneof![
+        Just(AirBtbMode::CapacityOnly),
+        Just(AirBtbMode::SpatialLocality),
+        Just(AirBtbMode::Prefetching),
+        Just(AirBtbMode::Full),
+    ]
+}
+
+fn arb_btb_spec() -> impl Strategy<Value = BtbSpec> {
+    prop_oneof![
+        (1usize..65_536, 1usize..16, 0usize..256).prop_map(|(entries, ways, victim_entries)| {
+            BtbSpec::Conventional {
+                entries,
+                ways,
+                victim_entries,
+            }
+        }),
+        Just(BtbSpec::Baseline1k),
+        Just(BtbSpec::Large16k),
+        (1u64..200).prop_map(|llc_latency| BtbSpec::Phantom { llc_latency }),
+        Just(BtbSpec::TwoLevelPaper),
+        (arb_airbtb_mode(), 1usize..4096, 1usize..8, 0usize..256).prop_map(
+            |(mode, bundles, bundle_entries, overflow_entries)| BtbSpec::AirBtb {
+                mode,
+                bundles,
+                bundle_entries,
+                overflow_entries,
+            }
+        ),
+        Just(BtbSpec::Ideal16k),
+        Just(BtbSpec::Perfect),
+    ]
+}
+
+fn arb_coverage_options() -> impl Strategy<Value = CoverageOptions> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<bool>(), 0usize..1 << 20),
+    )
+        .prop_map(
+            |((warmup_instrs, measure_instrs, seed), (use_shift, history_entries))| {
+                CoverageOptions {
+                    warmup_instrs,
+                    measure_instrs,
+                    seed,
+                    use_shift,
+                    history_entries,
+                }
+            },
+        )
+}
+
+fn arb_core_params() -> impl Strategy<Value = CoreParams> {
+    (
+        (1usize..32, 0usize..64, 0u64..32, 0u64..64),
+        (1usize..8, 1usize..256, 1usize..4, 1usize..16),
+    )
+        .prop_map(|((fq, seq, mf, mp), (rw, ib, ppc, fw))| CoreParams {
+            fetch_queue_regions: fq,
+            btb_miss_seq_instrs: seq,
+            misfetch_penalty: mf,
+            mispredict_penalty: mp,
+            retire_width: rw,
+            instr_buffer: ib,
+            predictions_per_cycle: ppc,
+            fetch_width: fw,
+        })
+}
+
+fn arb_mem_params() -> impl Strategy<Value = MemParams> {
+    (
+        (1usize..1 << 22, 1usize..32, 1u64..16, 1usize..64),
+        (1usize..64, 1usize..1 << 24, 1usize..64, 1u64..32),
+        (1u64..16, 1u64..512, 1usize..256),
+    )
+        .prop_map(
+            |(
+                (l1i_bytes, l1i_ways, l1i_latency, l1i_mshrs),
+                (cores, llc_slice_bytes, llc_ways, llc_bank_latency),
+                (noc_hop_latency, mem_latency, block_bytes),
+            )| MemParams {
+                l1i_bytes,
+                l1i_ways,
+                l1i_latency,
+                l1i_mshrs,
+                cores,
+                llc_slice_bytes,
+                llc_ways,
+                llc_bank_latency,
+                noc_hop_latency,
+                mem_latency,
+                block_bytes,
+            },
+        )
+}
+
+fn arb_timing_config() -> impl Strategy<Value = TimingConfig> {
+    (
+        (1usize..64, any::<u64>(), any::<u64>()),
+        (0usize..1 << 20, any::<u64>()),
+        arb_core_params(),
+        arb_mem_params(),
+    )
+        .prop_map(
+            |((cores, warmup_instrs, measure_instrs), (history_entries, seed), core, mem)| {
+                TimingConfig {
+                    cores,
+                    warmup_instrs,
+                    measure_instrs,
+                    history_entries,
+                    seed,
+                    core,
+                    mem,
+                }
+            },
+        )
+}
+
+fn arb_job() -> impl Strategy<Value = Job> {
+    prop_oneof![
+        (arb_workload(), arb_btb_spec(), arb_coverage_options()).prop_map(
+            |(workload, btb, opts)| Job::Coverage(CoverageJob {
+                workload,
+                btb,
+                opts
+            })
+        ),
+        (arb_workload(), arb_design(), arb_timing_config()).prop_map(|(workload, design, cfg)| {
+            Job::Timing(TimingJob {
+                workload,
+                design,
+                cfg,
+            })
+        }),
+        (arb_workload(), any::<u64>(), any::<u64>()).prop_map(|(workload, instrs, seed)| {
+            Job::Density(DensityJob {
+                workload,
+                instrs,
+                seed,
+            })
+        }),
+    ]
+}
+
+fn arb_coverage_result() -> impl Strategy<Value = CoverageResult> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |((instrs, branches, taken_branches, btb_misses), (a, m, p))| CoverageResult {
+                instrs,
+                branches,
+                taken_branches,
+                btb_misses,
+                l1i_accesses: a,
+                l1i_misses: m,
+                prefetch_fills: p,
+            },
+        )
+}
+
+fn arb_core_stats() -> impl Strategy<Value = CoreStats> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|((a, b, c, d), (e, f, g, h), (i, j, k, l))| CoreStats {
+            cycles: a,
+            retired: b,
+            branches: c,
+            taken_branches: d,
+            btb_misses: e,
+            misfetches: f,
+            l2_bubble_cycles: g,
+            mispredicts: h,
+            l1i_accesses: i,
+            l1i_misses: j,
+            prefetch_fills: k,
+            fetch_stall_cycles: l,
+        })
+}
+
+fn arb_job_output() -> impl Strategy<Value = JobOutput> {
+    prop_oneof![
+        arb_coverage_result().prop_map(JobOutput::Coverage),
+        (
+            arb_design(),
+            prop::collection::vec(arb_core_stats(), 0..20),
+            any::<u64>(),
+        )
+            .prop_map(|(design, per_core, total_cycles)| {
+                JobOutput::Timing(Arc::new(TimingResult {
+                    design,
+                    per_core,
+                    total_cycles,
+                }))
+            }),
+        // Raw bit patterns: NaNs and infinities must survive too.
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(s, d)| JobOutput::Density(f64::from_bits(s), f64::from_bits(d))),
+    ]
+}
+
+proptest! {
+    /// Arbitrary jobs round-trip the store codec to equality.
+    #[test]
+    fn job_codec_roundtrip(job in arb_job()) {
+        let bytes = job.to_bytes();
+        let decoded = Job::from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(&decoded, &job);
+        // Re-encoding is byte-stable (canonical form).
+        prop_assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    /// Arbitrary outputs round-trip the store codec byte-stably. Compared
+    /// via re-encoded bytes so NaN densities (bit-preserved, but `!=`
+    /// under IEEE comparison) still verify.
+    #[test]
+    fn job_output_codec_roundtrip(output in arb_job_output()) {
+        let bytes = output.to_bytes();
+        let decoded = JobOutput::from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    /// Decoding truncated prefixes of a valid encoding never panics and
+    /// never silently succeeds with a short read.
+    #[test]
+    fn truncated_job_encodings_error(job in arb_job()) {
+        let bytes = job.to_bytes();
+        for keep in 0..bytes.len() {
+            prop_assert!(Job::from_bytes(&bytes[..keep]).is_err(), "prefix {keep}");
+        }
+    }
+}
