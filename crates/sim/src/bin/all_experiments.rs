@@ -17,42 +17,25 @@
 use std::time::Instant;
 
 use confluence_sim::cli;
-use confluence_sim::experiments::{self, ExperimentConfig};
-use confluence_sim::report::Report;
+use confluence_sim::experiments;
 use confluence_sim::SimEngine;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let csv = args.iter().any(|a| a == "--csv");
-    let md = args.iter().any(|a| a == "--markdown");
+    let flags = cli::parse_common(&args);
     let serial = args.iter().any(|a| a == "--serial");
     let compare = args.iter().any(|a| a == "--compare-serial");
-    let threads = match args.iter().position(|a| a == "--threads") {
-        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
-            Some(n) => Some(n),
-            None => {
-                eprintln!("error: --threads requires an integer value");
-                std::process::exit(2);
-            }
-        },
-        None => None,
-    };
-    if serial && threads.is_some() {
+    if serial && flags.threads.is_some() {
         eprintln!("error: --serial and --threads are mutually exclusive");
         std::process::exit(2);
     }
-    let cfg = if quick {
-        ExperimentConfig::quick()
-    } else {
-        ExperimentConfig::full()
-    };
+    let cfg = flags.config();
 
     eprintln!("generating workloads...");
     let mut engine = cfg.engine();
     if serial {
         engine = engine.with_threads(1);
-    } else if let Some(n) = threads {
+    } else if let Some(n) = flags.threads {
         engine = engine.with_threads(n);
     }
     let engine = cli::attach_store(engine, &args);
@@ -79,17 +62,8 @@ fn main() {
         stats.executed, elapsed, stats.requests, stats.hits, stats.disk_hits
     );
 
-    let emit = |r: &Report| {
-        if csv {
-            println!("{}", r.to_csv());
-        } else if md {
-            println!("{}", r.to_markdown());
-        } else {
-            println!("{}", r.to_table());
-        }
-    };
     for report in experiments::suite_reports(&engine, &cfg) {
-        emit(&report);
+        println!("{}", flags.render(&report));
     }
 
     let final_stats = engine.stats();

@@ -1,0 +1,108 @@
+//! Runs registered sensitivity-sweep studies through a shared
+//! [`confluence_sim::SimEngine`].
+//!
+//! Studies are declarative [`confluence_sim::SweepSpec`]s from
+//! `confluence_sim::sweeps::registry()`; their points reuse the figure
+//! suite's configurations wherever they coincide, so a store populated by
+//! `all_experiments` serves most of a sweep from disk.
+//!
+//! Usage: `sweeps [--list] [--study NAME]... [--quick] [--csv | --markdown]
+//! [--threads N] [--store-dir DIR | --no-store]`
+//!
+//! With no `--study`, every registered study runs. `CONFLUENCE_STORE=DIR`
+//! also enables the persistent result store.
+
+use std::time::Instant;
+
+use confluence_sim::cli;
+use confluence_sim::experiments::unique_jobs;
+use confluence_sim::sweeps;
+use confluence_sim::Job;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--list") {
+        for s in sweeps::registry() {
+            println!(
+                "{:16} {:28} {} points",
+                s.name,
+                s.axis.parameter(),
+                s.axis.len()
+            );
+        }
+        return;
+    }
+
+    let flags = cli::parse_common(&args);
+
+    // Repeatable --study NAME; no occurrences selects the full registry.
+    let mut selected = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--study" {
+            match args.get(i + 1) {
+                Some(name) if !name.starts_with("--") => match sweeps::find(name) {
+                    Some(spec) => selected.push(spec),
+                    None => {
+                        eprintln!("error: unknown study '{name}' (try --list)");
+                        std::process::exit(2);
+                    }
+                },
+                _ => {
+                    eprintln!("error: --study requires a name (try --list)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        i += 1;
+    }
+    let studies = if selected.is_empty() {
+        sweeps::registry()
+    } else {
+        selected
+    };
+
+    let cfg = flags.config();
+
+    eprintln!("generating workloads...");
+    let mut engine = cfg.engine();
+    if let Some(n) = flags.threads {
+        engine = engine.with_threads(n);
+    }
+    let engine = cli::attach_store(engine, &args);
+
+    let jobs: Vec<Job> = studies.iter().flat_map(|s| s.jobs(&engine, &cfg)).collect();
+    let unique = unique_jobs(&jobs);
+    eprintln!(
+        "running {} studies: {} unique simulations ({} requested) on {} thread(s)...",
+        studies.len(),
+        unique,
+        jobs.len(),
+        engine.threads()
+    );
+    let start = Instant::now();
+    engine.run(&jobs);
+    let elapsed = start.elapsed();
+    let stats = engine.stats();
+    assert_eq!(
+        stats.executed + stats.disk_hits,
+        unique as u64,
+        "each unique simulation must be executed once or served from the store"
+    );
+    eprintln!(
+        "engine: executed {} simulations in {:.2?} ({} requests, {} memory hits, {} disk hits)",
+        stats.executed, elapsed, stats.requests, stats.hits, stats.disk_hits
+    );
+
+    for study in &studies {
+        println!("{}", flags.render(&study.report(&engine, &cfg)));
+    }
+
+    let final_stats = engine.stats();
+    assert_eq!(
+        (final_stats.executed, final_stats.disk_hits),
+        (stats.executed, stats.disk_hits),
+        "formatting must be pure cache hits"
+    );
+    eprintln!("{}", cli::cache_summary(&engine));
+}

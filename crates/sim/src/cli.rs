@@ -69,27 +69,78 @@ pub fn attach_store(engine: SimEngine, args: &[String]) -> SimEngine {
     }
 }
 
+/// The flags shared by the multi-report binaries (`all_experiments`,
+/// `sweeps`): scale, output format, and worker-pool width.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommonFlags {
+    /// `--quick`: reduced simulation sizes.
+    pub quick: bool,
+    /// `--csv`: CSV output instead of aligned tables.
+    pub csv: bool,
+    /// `--markdown`: GitHub-flavoured markdown tables.
+    pub markdown: bool,
+    /// `--threads N`: explicit worker-pool width.
+    pub threads: Option<usize>,
+}
+
+impl CommonFlags {
+    /// The experiment configuration these flags select.
+    pub fn config(&self) -> ExperimentConfig {
+        if self.quick {
+            ExperimentConfig::quick()
+        } else {
+            ExperimentConfig::full()
+        }
+    }
+
+    /// Renders a report in the selected output format.
+    pub fn render(&self, r: &Report) -> String {
+        if self.csv {
+            r.to_csv()
+        } else if self.markdown {
+            r.to_markdown()
+        } else {
+            r.to_table()
+        }
+    }
+}
+
+/// Parses the [`CommonFlags`] out of a command line. Exits with status 2
+/// on a malformed `--threads`.
+pub fn parse_common(args: &[String]) -> CommonFlags {
+    let threads = match args.iter().position(|a| a == "--threads") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) => Some(n),
+            None => {
+                eprintln!("error: --threads requires an integer value");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    CommonFlags {
+        quick: args.iter().any(|a| a == "--quick"),
+        csv: args.iter().any(|a| a == "--csv"),
+        markdown: args.iter().any(|a| a == "--markdown"),
+        threads,
+    }
+}
+
 /// The whole main of a single-figure binary: parse the shared flags
-/// (`--quick`, `--csv`, the store options), build the engine, render the
-/// figure produced by `figure`, and print the cache summary to stderr.
-/// The nine `figN`-style binaries differ only in the formatter they
-/// pass.
+/// ([`CommonFlags`] plus the store options), build the engine, render
+/// the figure produced by `figure`, and print the cache summary to
+/// stderr. The nine `figN`-style binaries differ only in the formatter
+/// they pass.
 pub fn run_figure(figure: fn(&SimEngine, &ExperimentConfig) -> Report) {
     let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let csv = args.iter().any(|a| a == "--csv");
-    let cfg = if quick {
-        ExperimentConfig::quick()
-    } else {
-        ExperimentConfig::full()
-    };
-    let engine = attach_store(cfg.engine(), &args);
-    let r = figure(&engine, &cfg);
-    if csv {
-        println!("{}", r.to_csv());
-    } else {
-        println!("{}", r.to_table());
+    let flags = parse_common(&args);
+    let cfg = flags.config();
+    let mut engine = cfg.engine();
+    if let Some(n) = flags.threads {
+        engine = engine.with_threads(n);
     }
+    let engine = attach_store(engine, &args);
+    println!("{}", flags.render(&figure(&engine, &cfg)));
     eprintln!("{}", cache_summary(&engine));
 }
 
@@ -98,12 +149,16 @@ pub fn run_figure(figure: fn(&SimEngine, &ExperimentConfig) -> Report) {
 pub fn cache_summary(engine: &SimEngine) -> String {
     let stats = engine.stats();
     let store = match engine.store() {
-        Some(s) => format!(
-            "store {} (schema v{}, {} entries)",
-            s.root().display(),
-            s.schema(),
-            s.len()
-        ),
+        Some(s) => {
+            let usage = s.usage();
+            format!(
+                "store {} (schema v{}, {} entries, {} bytes)",
+                s.root().display(),
+                s.schema(),
+                usage.entries,
+                usage.bytes
+            )
+        }
         None => "store disabled".to_string(),
     };
     format!(
@@ -118,6 +173,50 @@ mod tests {
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn cache_summary_reports_store_entry_count_and_bytes() {
+        let dir =
+            std::env::temp_dir().join(format!("confluence-cli-summary-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir, SCHEMA_VERSION).expect("temp dir writable");
+        let program = std::sync::Arc::new(
+            confluence_trace::Program::generate(&confluence_trace::WorkloadSpec::tiny()).unwrap(),
+        );
+        let engine = SimEngine::new(vec![(confluence_trace::Workload::WebFrontend, program)])
+            .with_store(store);
+        assert!(cache_summary(&engine).contains("0 entries, 0 bytes"));
+
+        engine.coverage(&crate::job::CoverageJob {
+            workload: confluence_trace::Workload::WebFrontend,
+            btb: crate::job::BtbSpec::Perfect,
+            opts: crate::coverage::CoverageOptions {
+                warmup_instrs: 5_000,
+                measure_instrs: 5_000,
+                ..Default::default()
+            },
+        });
+        let bytes = engine.store().unwrap().size_bytes();
+        assert!(bytes > 0, "execution must spill to the store");
+        let summary = cache_summary(&engine);
+        assert!(
+            summary.contains(&format!("1 entries, {bytes} bytes")),
+            "summary must carry the store usage: {summary}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn common_flags_parse() {
+        let flags = parse_common(&args(&["--quick", "--csv", "--threads", "3"]));
+        assert!(flags.quick && flags.csv && !flags.markdown);
+        assert_eq!(flags.threads, Some(3));
+        assert!(flags.config().quick);
+        let defaults = parse_common(&args(&[]));
+        assert!(!defaults.quick && !defaults.csv && !defaults.markdown);
+        assert_eq!(defaults.threads, None);
+        assert!(!defaults.config().quick);
     }
 
     #[test]

@@ -95,6 +95,26 @@ impl ExperimentConfig {
         }
     }
 
+    /// The timing configuration at an explicit core count. The LLC gets
+    /// the smallest square tile mesh that accommodates the cores (the
+    /// NoC models a square mesh, paper Table 1) — *uniformly*, so
+    /// LLC-per-core scales consistently along a core sweep rather than
+    /// jumping at the suite's native point. In quick mode the 4-core
+    /// result is structurally identical to [`ExperimentConfig::timing`],
+    /// so that sweep point shares cache keys with the timing figures.
+    pub fn timing_with_cores(&self, cores: usize) -> TimingConfig {
+        let base = self.timing();
+        let mesh_dim = (cores as f64).sqrt().ceil() as usize;
+        TimingConfig {
+            cores,
+            mem: MemParams {
+                cores: mesh_dim * mesh_dim,
+                ..base.mem
+            },
+            ..base
+        }
+    }
+
     /// Instructions walked by the Table 2 density characterization.
     pub fn density_instrs(&self) -> u64 {
         if self.quick {
@@ -104,21 +124,24 @@ impl ExperimentConfig {
         }
     }
 
+    /// Generates one workload's program under this configuration's
+    /// scaling — the per-workload slice of
+    /// [`ExperimentConfig::workloads`], for tests and tools that only
+    /// need a subset without paying for all five programs.
+    pub fn workload_program(&self, w: Workload) -> Arc<Program> {
+        let mut spec = w.spec();
+        if self.quick {
+            spec.target_code_kb /= 4;
+        }
+        Arc::new(Program::generate(&spec).expect("preset specs are valid"))
+    }
+
     /// Generates the five paper workloads (scaled down in quick mode),
     /// shared via `Arc` so every job reads one copy.
     pub fn workloads(&self) -> Vec<(Workload, Arc<Program>)> {
         Workload::ALL
             .into_iter()
-            .map(|w| {
-                let mut spec = w.spec();
-                if self.quick {
-                    spec.target_code_kb /= 4;
-                }
-                (
-                    w,
-                    Arc::new(Program::generate(&spec).expect("preset specs are valid")),
-                )
-            })
+            .map(|w| (w, self.workload_program(w)))
             .collect()
     }
 
@@ -679,6 +702,7 @@ pub fn all_jobs(engine: &SimEngine, cfg: &ExperimentConfig) -> Vec<Job> {
     jobs.extend(fig_perf_area_jobs(engine, &FIG2_DESIGNS, cfg));
     jobs.extend(fig_perf_area_jobs(engine, &FIG6_DESIGNS, cfg));
     jobs.extend(fig7_jobs(engine, cfg));
+    jobs.extend(crate::sweeps::all_sweep_jobs(engine, cfg));
     jobs
 }
 
@@ -694,7 +718,7 @@ pub fn unique_jobs(jobs: &[Job]) -> usize {
 /// determinism test renders this twice (fresh engine, same store) and
 /// asserts byte-identical output with zero executions.
 pub fn suite_reports(engine: &SimEngine, cfg: &ExperimentConfig) -> Vec<Report> {
-    vec![
+    let mut reports = vec![
         fig1(engine, cfg),
         table2(engine, cfg),
         fig8(engine, cfg),
@@ -705,7 +729,9 @@ pub fn suite_reports(engine: &SimEngine, cfg: &ExperimentConfig) -> Vec<Report> 
         fig2(engine, cfg),
         fig6(engine, cfg),
         fig7(engine, cfg),
-    ]
+    ];
+    reports.extend(crate::sweeps::sweep_reports(engine, cfg));
+    reports
 }
 
 #[cfg(test)]

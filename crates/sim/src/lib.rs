@@ -12,6 +12,7 @@ mod engine;
 pub mod experiments;
 mod job;
 pub mod report;
+pub mod sweeps;
 mod timing;
 
 pub use cmp::{simulate_cmp, TimingConfig, TimingResult};
@@ -22,4 +23,5 @@ pub use coverage::{
 pub use designs::{airbtb_ablation, DesignPoint, PrefetchScheme};
 pub use engine::{EngineStats, SimEngine};
 pub use job::{BtbSpec, CoverageJob, DensityJob, Job, JobOutput, TimingJob};
+pub use sweeps::{SweepAxis, SweepSpec};
 pub use timing::{CoreFrontend, CoreStats};

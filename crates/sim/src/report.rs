@@ -6,7 +6,7 @@ use std::fmt::Write as _;
 ///
 /// Renders as an aligned ASCII table (the default) or as CSV (`--csv`),
 /// matching the rows/series the paper's figures plot.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Report {
     caption: String,
     headers: Vec<String>,
@@ -83,6 +83,43 @@ impl Report {
         out
     }
 
+    /// Parses a report back from its [`Report::to_csv`] rendering —
+    /// the inverse the formatting round-trip property tests pin (the
+    /// sweep harness byte-compares its goldens and checks this round
+    /// trip separately). Returns `None` for anything
+    /// that is not a well-formed CSV report (missing caption comment,
+    /// row arity disagreeing with the header). Cells containing commas
+    /// or newlines are not representable in this CSV dialect and do not
+    /// round-trip.
+    pub fn from_csv(text: &str) -> Option<Report> {
+        let mut lines = text.lines();
+        let caption = lines.next()?.strip_prefix("# ")?.to_string();
+        let headers: Vec<String> = lines.next()?.split(',').map(str::to_string).collect();
+        let mut rows = Vec::new();
+        for line in lines {
+            let cells: Vec<String> = line.split(',').map(str::to_string).collect();
+            if cells.len() != headers.len() {
+                return None;
+            }
+            rows.push(cells);
+        }
+        Some(Report {
+            caption,
+            headers,
+            rows,
+        })
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows (stringified cells, one `Vec` per row).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders a GitHub-flavoured markdown table.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
@@ -141,6 +178,28 @@ mod tests {
         assert!(lines.next().unwrap().starts_with('#'));
         assert_eq!(lines.next().unwrap(), "name,value");
         assert_eq!(lines.next().unwrap(), "alpha,1.23");
+    }
+
+    #[test]
+    fn csv_round_trips_through_from_csv() {
+        let r = sample();
+        assert_eq!(Report::from_csv(&r.to_csv()), Some(r));
+    }
+
+    #[test]
+    fn from_csv_rejects_malformed_text() {
+        assert_eq!(Report::from_csv(""), None, "no caption line");
+        assert_eq!(
+            Report::from_csv("caption\nh1,h2\n"),
+            None,
+            "missing # prefix"
+        );
+        assert_eq!(Report::from_csv("# caption"), None, "missing header line");
+        assert_eq!(
+            Report::from_csv("# caption\nh1,h2\nonly-one-cell\n"),
+            None,
+            "row arity mismatch"
+        );
     }
 
     #[test]

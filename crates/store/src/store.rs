@@ -126,21 +126,49 @@ impl ResultStore {
             })
     }
 
-    /// Number of entries currently on disk for this schema version.
-    pub fn len(&self) -> usize {
-        let Ok(entries) = fs::read_dir(&self.root) else {
-            return 0;
+    /// Entry count and total bytes on disk for this schema version, in
+    /// one directory pass (the first slice of store GC: knowing what a
+    /// wipe would reclaim). Counts only committed `.bin` entries, never
+    /// in-flight `.tmp` files, so concurrent writers don't perturb the
+    /// figures.
+    pub fn usage(&self) -> StoreUsage {
+        let Ok(dir) = fs::read_dir(&self.root) else {
+            return StoreUsage::default();
         };
-        entries
+        let mut usage = StoreUsage::default();
+        for e in dir
             .filter_map(|e| e.ok())
             .filter(|e| e.path().extension().is_some_and(|x| x == "bin"))
-            .count()
+        {
+            usage.entries += 1;
+            usage.bytes += e.metadata().map(|m| m.len()).unwrap_or(0);
+        }
+        usage
+    }
+
+    /// Number of entries currently on disk for this schema version.
+    pub fn len(&self) -> usize {
+        self.usage().entries
     }
 
     /// True when no entries exist for this schema version.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Total bytes of entry files on disk for this schema version.
+    pub fn size_bytes(&self) -> u64 {
+        self.usage().bytes
+    }
+}
+
+/// On-disk accounting of one schema version's entries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreUsage {
+    /// Committed entry files.
+    pub entries: usize,
+    /// Their total size in bytes.
+    pub bytes: u64,
 }
 
 /// Verifies and decodes one entry buffer; `None` on any defect.
@@ -208,6 +236,37 @@ mod tests {
         store.save(&7u64, &vec![1u64, 2, 3]).unwrap();
         assert_eq!(store.load::<Vec<u64>>(&7u64), Some(vec![1, 2, 3]));
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn size_bytes_tracks_entry_files_exactly() {
+        let dir = TestDir::new();
+        let store = ResultStore::open(&dir.0, 1).unwrap();
+        assert_eq!(store.size_bytes(), 0);
+        store.save(&1u64, &vec![1u64, 2, 3]).unwrap();
+        store.save(&2u64, &vec![4u64]).unwrap();
+        let expected: u64 = fs::read_dir(store.root())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.metadata().unwrap().len())
+            .sum();
+        assert!(expected > 0);
+        assert_eq!(store.size_bytes(), expected);
+        assert_eq!(store.len(), 2);
+        // Overwriting a key must not double-count its bytes.
+        store.save(&2u64, &vec![4u64]).unwrap();
+        assert_eq!(store.size_bytes(), expected);
+        // A stray tmp file (in-flight writer) is not an entry.
+        fs::write(store.root().join("deadbeef.tmp.1.2"), b"partial").unwrap();
+        assert_eq!(store.size_bytes(), expected);
+        assert_eq!(
+            store.usage(),
+            StoreUsage {
+                entries: 2,
+                bytes: expected
+            },
+            "usage must report both figures from one pass"
+        );
     }
 
     #[test]

@@ -405,6 +405,64 @@ fn arb_job_output() -> impl Strategy<Value = JobOutput> {
     ]
 }
 
+/// A CSV-safe cell/caption: no commas, no newlines (the dialect's
+/// documented non-representable characters).
+fn arb_cell() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9 ._%+-]{0,12}").unwrap()
+}
+
+proptest! {
+    /// Report rendering round-trips: any report over CSV-safe cells is
+    /// reconstructed exactly by `Report::from_csv(report.to_csv())`,
+    /// and re-rendering the parse is byte-stable. This is the contract
+    /// the sweep golden harness rests on.
+    #[test]
+    fn report_csv_roundtrip(
+        caption in arb_cell(),
+        headers in prop::collection::vec(arb_cell(), 1..5),
+        row_seed in prop::collection::vec(prop::collection::vec(arb_cell(), 5..6), 0..6),
+    ) {
+        use confluence::sim::report::Report;
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut report = Report::new(caption.clone(), &header_refs);
+        for seed in &row_seed {
+            // Trim every generated row to the header arity.
+            report.row(seed[..headers.len()].to_vec());
+        }
+        let csv = report.to_csv();
+        let parsed = Report::from_csv(&csv).expect("rendered CSV must parse");
+        prop_assert_eq!(&parsed, &report);
+        prop_assert_eq!(parsed.to_csv(), csv, "re-rendering must be byte-stable");
+    }
+}
+
+/// Every job any registered sweep study can generate — every swept
+/// `CoverageOptions` history capacity, `BtbSpec` geometry, and
+/// `TimingConfig` core count, in both quick and full configurations —
+/// round-trips the persistent-store codec byte-stably. This is the
+/// contract that lets sweep points share the disk store with the figure
+/// suite.
+#[test]
+fn every_sweep_study_job_roundtrips_codec() {
+    use confluence_sim::experiments::ExperimentConfig;
+    let mut seen = 0;
+    for cfg in [ExperimentConfig::quick(), ExperimentConfig::full()] {
+        for study in confluence_sim::sweeps::registry() {
+            for job in study.jobs_for(&confluence::trace::Workload::ALL, &cfg) {
+                let bytes = job.to_bytes();
+                let decoded = Job::from_bytes(&bytes).expect("study job must decode");
+                assert_eq!(decoded, job, "{}: decode mismatch", study.name);
+                assert_eq!(decoded.to_bytes(), bytes, "{}: not byte-stable", study.name);
+                seen += 1;
+            }
+        }
+    }
+    assert!(
+        seen > 100,
+        "expected a real corpus of study jobs, got {seen}"
+    );
+}
+
 proptest! {
     /// Arbitrary jobs round-trip the store codec to equality.
     #[test]

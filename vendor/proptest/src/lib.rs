@@ -245,6 +245,72 @@ pub mod collection {
     }
 }
 
+/// String strategies (`proptest::string`).
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for strings matching the supported regex subset.
+    pub struct RegexGeneratorStrategy {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let span = (self.max - self.min + 1) as u64;
+            let len = self.min + rng.below(span) as usize;
+            (0..len)
+                .map(|_| self.chars[rng.below(self.chars.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    /// Mirrors `proptest::string::string_regex` for the subset the
+    /// workspace uses: a single character class with optional `a-z`
+    /// ranges, followed by a `{min,max}` repetition — e.g.
+    /// `[A-Za-z0-9 ._%+-]{0,12}`. Anything else is an `Err`, like the
+    /// real API's parse failure.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, String> {
+        let unsupported = || format!("shim string_regex cannot parse {pattern:?}");
+        let rest = pattern.strip_prefix('[').ok_or_else(unsupported)?;
+        let (class, rep) = rest.split_once(']').ok_or_else(unsupported)?;
+        let mut chars = Vec::new();
+        let mut it = class.chars().peekable();
+        while let Some(c) = it.next() {
+            // `a-z` range when '-' sits between two chars; a trailing or
+            // leading '-' is a literal.
+            if it.peek() == Some(&'-') {
+                let mut ahead = it.clone();
+                ahead.next();
+                if let Some(&end) = ahead.peek() {
+                    it = ahead;
+                    it.next();
+                    (c..=end).for_each(|ch| chars.push(ch));
+                    continue;
+                }
+            }
+            chars.push(c);
+        }
+        if chars.is_empty() {
+            return Err(unsupported());
+        }
+        let rep = rep
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .ok_or_else(unsupported)?;
+        let (min, max) = rep.split_once(',').ok_or_else(unsupported)?;
+        let min: usize = min.parse().map_err(|_| unsupported())?;
+        let max: usize = max.parse().map_err(|_| unsupported())?;
+        if max < min {
+            return Err(unsupported());
+        }
+        Ok(RegexGeneratorStrategy { chars, min, max })
+    }
+}
+
 /// Option strategies (`proptest::option`).
 pub mod option {
     use super::{Strategy, TestRng};
@@ -383,6 +449,20 @@ mod tests {
         fn collections_respect_length(v in prop::collection::vec(any::<bool>(), 3..6)) {
             prop_assert!((3..6).contains(&v.len()));
         }
+    }
+
+    #[test]
+    fn string_regex_respects_class_and_repetition() {
+        let strat = crate::string::string_regex("[a-c_]{2,5}").unwrap();
+        let mut rng = crate::TestRng::deterministic("string_regex");
+        for _ in 0..64 {
+            let s = crate::Strategy::sample(&strat, &mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '_')), "{s:?}");
+        }
+        assert!(crate::string::string_regex("plain").is_err());
+        assert!(crate::string::string_regex("[]{1,2}").is_err());
+        assert!(crate::string::string_regex("[ab]{5,1}").is_err());
     }
 
     #[test]
