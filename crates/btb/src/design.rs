@@ -67,7 +67,12 @@ impl BtbOutcome {
 /// dynamic basic block, one `update` per resolved branch, and the L1-I
 /// synchronization hooks for designs whose contents mirror the instruction
 /// cache (AirBTB).
-pub trait BtbDesign {
+///
+/// `Send` is a supertrait because a built design lives inside one core's
+/// pipeline state, and the CMP tick moves whole cores across shard
+/// threads; designs hold only owned tables (or `Send + Sync` oracles), so
+/// the bound costs implementations nothing.
+pub trait BtbDesign: Send {
     /// Short display name, e.g. `"2LevelBTB"`.
     fn name(&self) -> &'static str;
 

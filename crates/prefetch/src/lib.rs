@@ -36,5 +36,6 @@ mod shift;
 pub use consolidation::ConsolidatedHistories;
 pub use fdp::Fdp;
 pub use shift::{
-    ShiftEngine, ShiftHistory, StreamCursor, DEFAULT_HISTORY_ENTRIES, DEFAULT_LOOKAHEAD,
+    HistoryView, ShiftEngine, ShiftHistory, StreamCursor, DEFAULT_HISTORY_ENTRIES,
+    DEFAULT_LOOKAHEAD,
 };

@@ -230,6 +230,48 @@ impl Default for ShiftHistory {
     }
 }
 
+/// A core's phase-1 view of the shared history during a two-phase CMP
+/// tick.
+///
+/// SHIFT's history is written by exactly one core — the generator — and
+/// read by all of them (paper Section 3.4). The two-phase tick exploits
+/// that asymmetry: the generator core steps first holding the `Writer`
+/// view (its records land immediately, exactly as serial stepping orders
+/// them), and every other core then steps concurrently holding `Reader`
+/// views of the now-up-to-date history. The view is what makes the
+/// sharing contract explicit in the type system instead of every caller
+/// threading `&mut ShiftHistory` through code that mostly reads.
+#[derive(Debug)]
+pub enum HistoryView<'a> {
+    /// The generator core's exclusive view: reads and records.
+    Writer(&'a mut ShiftHistory),
+    /// A follower core's concurrent view: reads only.
+    Reader(&'a ShiftHistory),
+}
+
+impl HistoryView<'_> {
+    /// The history, for lookups and stream reads.
+    pub fn history(&self) -> &ShiftHistory {
+        match self {
+            HistoryView::Writer(h) => h,
+            HistoryView::Reader(h) => h,
+        }
+    }
+
+    /// Records one generator-core access. Returns `false` (and does
+    /// nothing) on a `Reader` view — only the generator may write, and a
+    /// follower attempting to is a wiring bug the caller can assert on.
+    pub fn record(&mut self, block: BlockAddr) -> bool {
+        match self {
+            HistoryView::Writer(h) => {
+                h.record(block);
+                true
+            }
+            HistoryView::Reader(_) => false,
+        }
+    }
+}
+
 /// A read cursor into the shared history stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StreamCursor {
@@ -509,6 +551,18 @@ mod tests {
         assert!(!e.covers(BlockAddr::from_raw(99)));
         let blocks: Vec<u64> = e.blocks().map(|b| b.raw()).collect();
         assert_eq!(blocks, vec![100, 101, 103]);
+    }
+
+    #[test]
+    fn history_view_gates_writes_to_the_generator() {
+        let mut h = ShiftHistory::with_capacity(8);
+        let mut writer = HistoryView::Writer(&mut h);
+        assert!(writer.record(BlockAddr::from_raw(1)));
+        assert!(writer.history().lookup(BlockAddr::from_raw(1)).is_some());
+        let mut reader = HistoryView::Reader(&h);
+        assert!(!reader.record(BlockAddr::from_raw(2)));
+        assert!(reader.history().lookup(BlockAddr::from_raw(2)).is_none());
+        assert_eq!(h.len(), 1, "reader views must never mutate");
     }
 
     #[test]

@@ -2,23 +2,22 @@
 //! and prints the full suite.
 //!
 //! All figures' jobs are batched and executed on the engine's worker pool
-//! first, with each unique `(workload, design/BTB-spec, options)`
-//! simulation run exactly once across the whole suite; the figures then
-//! format from the warm cache. With a persistent store attached
-//! (`--store-dir`, or `CONFLUENCE_STORE=DIR`), results also survive the
-//! process: a second run against the same store executes nothing and
-//! emits byte-identical reports. `--compare-serial` re-runs the same
-//! batch on a fresh single-threaded engine and reports the wall-clock
-//! speedup.
+//! first — most expensive first, with idle workers lent to CMP timing
+//! runs as core shards — with each unique `(workload, design/BTB-spec,
+//! options)` simulation run exactly once across the whole suite; the
+//! figures then format from the warm cache. With a persistent store
+//! attached (`--store-dir`, or `CONFLUENCE_STORE=DIR`), results also
+//! survive the process: a second run against the same store executes
+//! nothing and emits byte-identical reports. `--compare-serial` re-runs
+//! the same batch on a fresh single-threaded engine, asserts the two
+//! renderings are byte-identical, and reports the wall-clock speedup.
 //!
 //! Usage: `all_experiments [--quick] [--csv] [--markdown] [--serial]
-//! [--compare-serial] [--threads N] [--store-dir DIR | --no-store]`
-
-use std::time::Instant;
+//! [--compare-serial] [--threads N] [--store-dir DIR | --no-store]
+//! [--store-cap-bytes N]`
 
 use confluence_sim::cli;
 use confluence_sim::experiments;
-use confluence_sim::SimEngine;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -41,64 +40,13 @@ fn main() {
     let engine = cli::attach_store(engine, &args);
 
     let jobs = experiments::all_jobs(&engine, &cfg);
-    let unique = experiments::unique_jobs(&jobs);
-    eprintln!(
-        "running {} unique simulations ({} requested across figures) on {} thread(s)...",
-        unique,
-        jobs.len(),
-        engine.threads()
-    );
-    let start = Instant::now();
-    engine.run(&jobs);
-    let elapsed = start.elapsed();
-    let stats = engine.stats();
-    assert_eq!(
-        stats.executed + stats.disk_hits,
-        unique as u64,
-        "each unique simulation must be executed once or served from the store"
-    );
-    eprintln!(
-        "engine: executed {} simulations in {:.2?} ({} requests, {} memory hits, {} disk hits)",
-        stats.executed, elapsed, stats.requests, stats.hits, stats.disk_hits
-    );
-
-    for report in experiments::suite_reports(&engine, &cfg) {
-        println!("{}", flags.render(&report));
-    }
-
-    let final_stats = engine.stats();
-    assert_eq!(
-        (final_stats.executed, final_stats.disk_hits),
-        (stats.executed, stats.disk_hits),
-        "formatting must be pure cache hits"
-    );
-    eprintln!("{}", cli::cache_summary(&engine));
+    let run = cli::run_batch(&engine, &jobs, "across figures");
+    let reports = experiments::suite_reports(&engine, &cfg);
+    let rendered = cli::finish_batch(&engine, &flags, &run, &reports, &args);
 
     if compare && !serial {
-        if engine.store().is_some() {
-            // Warm, the timed run measured disk reads; cold, it paid
-            // store writes the reference would not. Either way the
-            // comparison would be simulation-vs-something-else.
-            eprintln!(
-                "skipping serial comparison: a result store was attached to the timed \
-                 run ({} jobs served from disk), so wall-clocks are not comparable \
-                 (re-run with --no-store to compare)",
-                stats.disk_hits
-            );
-            return;
-        }
-        eprintln!("re-running the batch serially for comparison...");
-        // No store: the reference must actually simulate.
-        let reference = SimEngine::new(engine.workloads().to_vec()).with_threads(1);
-        let start = Instant::now();
-        reference.run(&jobs);
-        let serial_elapsed = start.elapsed();
-        eprintln!(
-            "serial: {:.2?}; parallel: {:.2?}; speedup {:.2}x on {} threads",
-            serial_elapsed,
-            elapsed,
-            serial_elapsed.as_secs_f64() / elapsed.as_secs_f64(),
-            engine.threads()
-        );
+        cli::compare_serial(&engine, &flags, &jobs, &run, &rendered, |reference| {
+            experiments::suite_reports(reference, &cfg)
+        });
     }
 }

@@ -7,15 +7,12 @@
 //! `all_experiments` serves most of a sweep from disk.
 //!
 //! Usage: `sweeps [--list] [--study NAME]... [--quick] [--csv | --markdown]
-//! [--threads N] [--store-dir DIR | --no-store]`
+//! [--threads N] [--store-dir DIR | --no-store] [--store-cap-bytes N]`
 //!
 //! With no `--study`, every registered study runs. `CONFLUENCE_STORE=DIR`
 //! also enables the persistent result store.
 
-use std::time::Instant;
-
 use confluence_sim::cli;
-use confluence_sim::experiments::unique_jobs;
 use confluence_sim::sweeps;
 use confluence_sim::Job;
 
@@ -72,37 +69,7 @@ fn main() {
     let engine = cli::attach_store(engine, &args);
 
     let jobs: Vec<Job> = studies.iter().flat_map(|s| s.jobs(&engine, &cfg)).collect();
-    let unique = unique_jobs(&jobs);
-    eprintln!(
-        "running {} studies: {} unique simulations ({} requested) on {} thread(s)...",
-        studies.len(),
-        unique,
-        jobs.len(),
-        engine.threads()
-    );
-    let start = Instant::now();
-    engine.run(&jobs);
-    let elapsed = start.elapsed();
-    let stats = engine.stats();
-    assert_eq!(
-        stats.executed + stats.disk_hits,
-        unique as u64,
-        "each unique simulation must be executed once or served from the store"
-    );
-    eprintln!(
-        "engine: executed {} simulations in {:.2?} ({} requests, {} memory hits, {} disk hits)",
-        stats.executed, elapsed, stats.requests, stats.hits, stats.disk_hits
-    );
-
-    for study in &studies {
-        println!("{}", flags.render(&study.report(&engine, &cfg)));
-    }
-
-    let final_stats = engine.stats();
-    assert_eq!(
-        (final_stats.executed, final_stats.disk_hits),
-        (stats.executed, stats.disk_hits),
-        "formatting must be pure cache hits"
-    );
-    eprintln!("{}", cli::cache_summary(&engine));
+    let run = cli::run_batch(&engine, &jobs, &format!("across {} studies", studies.len()));
+    let reports: Vec<_> = studies.iter().map(|s| s.report(&engine, &cfg)).collect();
+    cli::finish_batch(&engine, &flags, &run, &reports, &args);
 }

@@ -1,53 +1,55 @@
 //! Regenerates the three timing figures (2, 6, 7) in one pass over a
 //! shared engine: the batched job set is deduplicated, so the Baseline and
-//! every design point shared between the figures is simulated once.
-//! Usage: `timing_figs [--quick] [--csv|--markdown] [--store-dir DIR | --no-store]`.
+//! every design point shared between the figures is simulated once. The
+//! batch is pure CMP timing work — the job class the engine's core-grain
+//! shard lending exists for — so `--compare-serial` here measures the
+//! two-phase tick's intra-job speedup specifically, and asserts the
+//! sharded rendering is byte-identical to a fully serial reference.
+//!
+//! Usage: `timing_figs [--quick] [--csv|--markdown] [--threads N]
+//! [--compare-serial] [--store-dir DIR | --no-store] [--store-cap-bytes N]`.
 //! `CONFLUENCE_STORE=DIR` also enables the persistent result store.
 
 use confluence_sim::cli;
 use confluence_sim::experiments::{self, ExperimentConfig, FIG2_DESIGNS, FIG6_DESIGNS};
 use confluence_sim::report::Report;
+use confluence_sim::SimEngine;
+
+fn figure_jobs(engine: &SimEngine, cfg: &ExperimentConfig) -> Vec<confluence_sim::Job> {
+    // Batch all three figures' jobs so shared design points run once.
+    let mut jobs = experiments::fig_perf_area_jobs(engine, &FIG2_DESIGNS, cfg);
+    jobs.extend(experiments::fig_perf_area_jobs(engine, &FIG6_DESIGNS, cfg));
+    jobs.extend(experiments::fig7_jobs(engine, cfg));
+    jobs
+}
+
+fn figures(engine: &SimEngine, cfg: &ExperimentConfig) -> Vec<Report> {
+    vec![
+        experiments::fig2(engine, cfg),
+        experiments::fig6(engine, cfg),
+        experiments::fig7(engine, cfg),
+    ]
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let csv = args.iter().any(|a| a == "--csv");
-    let md = args.iter().any(|a| a == "--markdown");
-    let cfg = if quick {
-        ExperimentConfig::quick()
-    } else {
-        ExperimentConfig::full()
-    };
-    let engine = cli::attach_store(cfg.engine(), &args);
+    let flags = cli::parse_common(&args);
+    let compare = args.iter().any(|a| a == "--compare-serial");
+    let cfg = flags.config();
+    let mut engine = cfg.engine();
+    if let Some(n) = flags.threads {
+        engine = engine.with_threads(n);
+    }
+    let engine = cli::attach_store(engine, &args);
 
-    // Batch all three figures' jobs so shared design points run once.
-    let mut jobs = experiments::fig_perf_area_jobs(&engine, &FIG2_DESIGNS, &cfg);
-    jobs.extend(experiments::fig_perf_area_jobs(
-        &engine,
-        &FIG6_DESIGNS,
-        &cfg,
-    ));
-    jobs.extend(experiments::fig7_jobs(&engine, &cfg));
-    engine.run(&jobs);
-    let stats = engine.stats();
-    eprintln!(
-        "engine: {} unique timing simulations for 3 figures ({} executed, {} from store)",
-        stats.executed + stats.disk_hits,
-        stats.executed,
-        stats.disk_hits
-    );
+    let jobs = figure_jobs(&engine, &cfg);
+    let run = cli::run_batch(&engine, &jobs, "for 3 timing figures");
+    let reports = figures(&engine, &cfg);
+    let rendered = cli::finish_batch(&engine, &flags, &run, &reports, &args);
 
-    let emit = |r: &Report| {
-        if csv {
-            println!("{}", r.to_csv());
-        } else if md {
-            println!("{}", r.to_markdown());
-        } else {
-            println!("{}", r.to_table());
-        }
-    };
-    emit(&experiments::fig2(&engine, &cfg));
-    emit(&experiments::fig6(&engine, &cfg));
-    emit(&experiments::fig7(&engine, &cfg));
-    eprintln!("{}", cli::cache_summary(&engine));
+    if compare {
+        cli::compare_serial(&engine, &flags, &jobs, &run, &rendered, |reference| {
+            figures(reference, &cfg)
+        });
+    }
 }

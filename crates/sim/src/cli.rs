@@ -14,16 +14,50 @@
 //! rather than wrong.
 
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 use confluence_store::ResultStore;
 
 use crate::codec::SCHEMA_VERSION;
-use crate::engine::SimEngine;
-use crate::experiments::ExperimentConfig;
+use crate::engine::{EngineStats, SimEngine};
+use crate::experiments::{unique_jobs, ExperimentConfig};
+use crate::job::Job;
 use crate::report::Report;
 
 /// Environment variable naming the default store directory.
 pub const STORE_ENV: &str = "CONFLUENCE_STORE";
+
+/// Environment variable naming the default store size cap in bytes.
+pub const STORE_CAP_ENV: &str = "CONFLUENCE_STORE_CAP";
+
+/// The value of `--flag V` or `--flag=V` on the command line, else the
+/// `env` fallback (when given and non-empty). `what` names the expected
+/// value in the error message. Exits with status 2 when the flag is
+/// present without a usable value — every option shared by the figure
+/// binaries parses through this one helper, so the accepted spellings
+/// cannot drift apart.
+fn flag_value(args: &[String], flag: &str, what: &str, env: Option<&str>) -> Option<String> {
+    let eq_form = format!("{flag}=");
+    if let Some(v) = args.iter().find_map(|a| a.strip_prefix(eq_form.as_str())) {
+        if v.is_empty() {
+            eprintln!("error: {flag} requires {what}");
+            std::process::exit(2);
+        }
+        return Some(v.to_string());
+    }
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => return Some(v.clone()),
+            _ => {
+                eprintln!("error: {flag} requires {what}");
+                std::process::exit(2);
+            }
+        }
+    }
+    env.and_then(std::env::var_os)
+        .filter(|v| !v.is_empty())
+        .and_then(|v| v.into_string().ok())
+}
 
 /// The store directory the given command line asks for, if any.
 /// Exits with status 2 on a malformed `--store-dir`.
@@ -31,25 +65,7 @@ pub fn store_dir_from_args(args: &[String]) -> Option<PathBuf> {
     if args.iter().any(|a| a == "--no-store") {
         return None;
     }
-    if let Some(dir) = args.iter().find_map(|a| a.strip_prefix("--store-dir=")) {
-        if dir.is_empty() {
-            eprintln!("error: --store-dir requires a path");
-            std::process::exit(2);
-        }
-        return Some(PathBuf::from(dir));
-    }
-    if let Some(i) = args.iter().position(|a| a == "--store-dir") {
-        match args.get(i + 1) {
-            Some(dir) if !dir.starts_with("--") => return Some(PathBuf::from(dir)),
-            _ => {
-                eprintln!("error: --store-dir requires a path");
-                std::process::exit(2);
-            }
-        }
-    }
-    std::env::var_os(STORE_ENV)
-        .filter(|v| !v.is_empty())
-        .map(PathBuf::from)
+    flag_value(args, "--store-dir", "a path", Some(STORE_ENV)).map(PathBuf::from)
 }
 
 /// Attaches the persistent store requested by `args` (if any) to an
@@ -66,6 +82,41 @@ pub fn attach_store(engine: SimEngine, args: &[String]) -> SimEngine {
             }
         },
         None => engine,
+    }
+}
+
+/// The store size cap the command line asks for, if any: the
+/// `--store-cap-bytes` flag, else the `CONFLUENCE_STORE_CAP` environment
+/// variable. Exits with status 2 on a malformed value.
+pub fn store_cap_from_args(args: &[String]) -> Option<u64> {
+    flag_value(
+        args,
+        "--store-cap-bytes",
+        "a byte count",
+        Some(STORE_CAP_ENV),
+    )
+    .map(|v| {
+        v.parse::<u64>().unwrap_or_else(|_| {
+            eprintln!("error: --store-cap-bytes requires a byte count, got '{v}'");
+            std::process::exit(2);
+        })
+    })
+}
+
+/// Applies the requested store cap (if any) after a batch: evicts
+/// oldest-written entries until the store fits, reporting what went. Runs
+/// after the batch — never between jobs — so a capped store still serves
+/// every intra-run hit and only sheds history it can re-derive.
+pub fn run_store_gc(engine: &SimEngine, args: &[String]) {
+    let (Some(store), Some(cap)) = (engine.store(), store_cap_from_args(args)) else {
+        return;
+    };
+    let gc = store.evict_to_cap(cap);
+    if gc.evicted_entries > 0 {
+        eprintln!(
+            "store gc: evicted {} entries ({} bytes) to fit the {} byte cap",
+            gc.evicted_entries, gc.evicted_bytes, cap
+        );
     }
 }
 
@@ -108,16 +159,12 @@ impl CommonFlags {
 /// Parses the [`CommonFlags`] out of a command line. Exits with status 2
 /// on a malformed `--threads`.
 pub fn parse_common(args: &[String]) -> CommonFlags {
-    let threads = match args.iter().position(|a| a == "--threads") {
-        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
-            Some(n) => Some(n),
-            None => {
-                eprintln!("error: --threads requires an integer value");
-                std::process::exit(2);
-            }
-        },
-        None => None,
-    };
+    let threads = flag_value(args, "--threads", "an integer value", None).map(|v| {
+        v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("error: --threads requires an integer value, got '{v}'");
+            std::process::exit(2);
+        })
+    });
     CommonFlags {
         quick: args.iter().any(|a| a == "--quick"),
         csv: args.iter().any(|a| a == "--csv"),
@@ -141,7 +188,134 @@ pub fn run_figure(figure: fn(&SimEngine, &ExperimentConfig) -> Report) {
     }
     let engine = attach_store(engine, &args);
     println!("{}", flags.render(&figure(&engine, &cfg)));
+    run_store_gc(&engine, &args);
     eprintln!("{}", cache_summary(&engine));
+}
+
+/// Accounting from one [`run_batch`] pass, consumed by [`finish_batch`]
+/// (purity baseline) and [`compare_serial`] (timed reference).
+pub struct BatchRun {
+    /// Engine accounting right after the batch returned.
+    pub stats: EngineStats,
+    /// Wall-clock time of the batch.
+    pub elapsed: Duration,
+    /// Distinct job keys in the batch.
+    pub unique: usize,
+}
+
+/// The batch-run half of a multi-report binary's main: announce the
+/// batch, execute it on the engine's pool, and assert the engine's
+/// headline contract — every unique simulation ran exactly once or came
+/// from the persistent store. The `context` string names the batch in
+/// the announcement ("across figures", "across 6 studies", ...).
+pub fn run_batch(engine: &SimEngine, jobs: &[Job], context: &str) -> BatchRun {
+    let unique = unique_jobs(jobs);
+    eprintln!(
+        "running {} unique simulations ({} requested {context}) on {} thread(s)...",
+        unique,
+        jobs.len(),
+        engine.threads()
+    );
+    let start = Instant::now();
+    engine.run(jobs);
+    let elapsed = start.elapsed();
+    let stats = engine.stats();
+    assert_eq!(
+        stats.executed + stats.disk_hits,
+        unique as u64,
+        "each unique simulation must be executed once or served from the store"
+    );
+    eprintln!(
+        "engine: executed {} simulations in {:.2?} ({} requests, {} memory hits, {} disk hits)",
+        stats.executed, elapsed, stats.requests, stats.hits, stats.disk_hits
+    );
+    BatchRun {
+        stats,
+        elapsed,
+        unique,
+    }
+}
+
+/// The rendering half: print every report in the selected format, assert
+/// that formatting was pure cache reads (no re-simulation), apply the
+/// requested store GC, and print the cache summary. Returns the rendered
+/// reports so `--compare-serial` can diff them against a reference run.
+pub fn finish_batch(
+    engine: &SimEngine,
+    flags: &CommonFlags,
+    run: &BatchRun,
+    reports: &[Report],
+    args: &[String],
+) -> Vec<String> {
+    let rendered: Vec<String> = reports.iter().map(|r| flags.render(r)).collect();
+    for out in &rendered {
+        println!("{out}");
+    }
+    let final_stats = engine.stats();
+    assert_eq!(
+        (final_stats.executed, final_stats.disk_hits),
+        (run.stats.executed, run.stats.disk_hits),
+        "formatting must be pure cache hits"
+    );
+    run_store_gc(engine, args);
+    eprintln!("{}", cache_summary(engine));
+    rendered
+}
+
+/// The `--compare-serial` tail of a multi-report binary: re-run the same
+/// batch on a fresh single-threaded engine (sharing the `Arc`'d
+/// programs, never the cache), assert its rendering is **byte-identical**
+/// to the parallel run's, and report the speedup — the validation hook
+/// for both job-grain parallelism and the core-grain two-phase tick.
+///
+/// Skipped with an explanation when a store is attached: warm, the timed
+/// run measured disk reads; cold, it paid store writes the reference
+/// would not — either way the wall-clocks would not compare simulation
+/// against simulation.
+pub fn compare_serial(
+    engine: &SimEngine,
+    flags: &CommonFlags,
+    jobs: &[Job],
+    run: &BatchRun,
+    parallel_rendering: &[String],
+    render: impl Fn(&SimEngine) -> Vec<Report>,
+) {
+    if engine.store().is_some() {
+        eprintln!(
+            "skipping serial comparison: a result store was attached to the timed \
+             run ({} jobs served from disk), so wall-clocks are not comparable \
+             (re-run with --no-store to compare)",
+            run.stats.disk_hits
+        );
+        return;
+    }
+    eprintln!("re-running the batch serially for comparison...");
+    let reference = SimEngine::new(engine.workloads().to_vec()).with_threads(1);
+    let start = Instant::now();
+    reference.run(jobs);
+    let serial_elapsed = start.elapsed();
+    assert_eq!(
+        reference.stats().executed,
+        run.unique as u64,
+        "the serial reference must actually simulate every unique job"
+    );
+    let serial_rendering: Vec<String> =
+        render(&reference).iter().map(|r| flags.render(r)).collect();
+    assert_eq!(
+        serial_rendering, parallel_rendering,
+        "serial and parallel runs must render identical reports"
+    );
+    eprintln!(
+        "serial reference output is byte-identical to the parallel run ({} reports)",
+        serial_rendering.len()
+    );
+    eprintln!(
+        "serial: {:.2?}; parallel: {:.2?}; speedup {:.2}x on {} threads",
+        serial_elapsed,
+        run.elapsed,
+        serial_elapsed.as_secs_f64() / run.elapsed.as_secs_f64(),
+        engine.threads()
+    );
 }
 
 /// One-line cache accounting for a finished run, printed to stderr by
@@ -212,11 +386,28 @@ mod tests {
         let flags = parse_common(&args(&["--quick", "--csv", "--threads", "3"]));
         assert!(flags.quick && flags.csv && !flags.markdown);
         assert_eq!(flags.threads, Some(3));
+        // The shared flag parser accepts the `=` spelling everywhere.
+        assert_eq!(parse_common(&args(&["--threads=5"])).threads, Some(5));
         assert!(flags.config().quick);
         let defaults = parse_common(&args(&[]));
         assert!(!defaults.quick && !defaults.csv && !defaults.markdown);
         assert_eq!(defaults.threads, None);
         assert!(!defaults.config().quick);
+    }
+
+    #[test]
+    fn store_cap_parses_both_spellings() {
+        assert_eq!(
+            store_cap_from_args(&args(&["--store-cap-bytes", "4096"])),
+            Some(4096)
+        );
+        assert_eq!(
+            store_cap_from_args(&args(&["--store-cap-bytes=123456"])),
+            Some(123456)
+        );
+        if std::env::var_os(STORE_CAP_ENV).is_none() {
+            assert_eq!(store_cap_from_args(&args(&["--quick"])), None);
+        }
     }
 
     #[test]

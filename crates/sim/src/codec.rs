@@ -337,18 +337,40 @@ impl Encode for CoverageOptions {
         self.seed.encode(out);
         self.use_shift.encode(out);
         self.history_entries.encode(out);
+        // Schema v1 **tail extension** (L1-I capacity + SHIFT lookahead
+        // sweeps): both fields are appended together, and only when at
+        // least one is non-default. Default-valued options keep the
+        // original five-field byte layout, so every pre-extension content
+        // key — and every stored entry — is unchanged; non-default
+        // options get strictly longer (hence distinct) keys. Sound
+        // because `CoverageOptions` sits in tail position of every
+        // encoding that contains it (`CoverageJob`, `Job`, `StoreKey`),
+        // which is what lets the decoder treat "no bytes left" as "both
+        // defaults".
+        if self.l1i_kb != crate::coverage::DEFAULT_L1I_KB
+            || self.shift_lookahead != confluence_prefetch::DEFAULT_LOOKAHEAD
+        {
+            self.l1i_kb.encode(out);
+            self.shift_lookahead.encode(out);
+        }
     }
 }
 
 impl Decode for CoverageOptions {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(CoverageOptions {
+        let mut opts = CoverageOptions {
             warmup_instrs: Decode::decode(r)?,
             measure_instrs: Decode::decode(r)?,
             seed: Decode::decode(r)?,
             use_shift: Decode::decode(r)?,
             history_entries: Decode::decode(r)?,
-        })
+            ..CoverageOptions::default()
+        };
+        if !r.is_empty() {
+            opts.l1i_kb = Decode::decode(r)?;
+            opts.shift_lookahead = Decode::decode(r)?;
+        }
+        Ok(opts)
     }
 }
 
@@ -726,6 +748,7 @@ mod tests {
                 seed: 1,
                 use_shift: true,
                 history_entries: 8192,
+                ..CoverageOptions::default()
             },
         });
         assert_eq!(hex(&job.to_bytes()), "0002050380040320e0a712a0c21e01018040");
@@ -735,5 +758,69 @@ mod tests {
             hex(&output.to_bytes()),
             "02000000000000f83f0000000000000040"
         );
+    }
+
+    /// The v1 tail extension: default L1-I capacity and SHIFT lookahead
+    /// encode to *nothing* (the original five-field layout — pinned by
+    /// `golden_bytes_pin_schema_v1` staying green without a regold), and
+    /// a non-default value of either appends both fields.
+    #[test]
+    fn coverage_options_tail_extension_is_default_invisible() {
+        let default_form = CoverageOptions::quick().to_bytes();
+        let spelled_out = CoverageOptions {
+            l1i_kb: crate::coverage::DEFAULT_L1I_KB,
+            shift_lookahead: confluence_prefetch::DEFAULT_LOOKAHEAD,
+            ..CoverageOptions::quick()
+        }
+        .to_bytes();
+        assert_eq!(
+            default_form, spelled_out,
+            "default tail values must not change the encoding"
+        );
+
+        for opts in [
+            CoverageOptions {
+                l1i_kb: 64,
+                ..CoverageOptions::quick()
+            },
+            CoverageOptions {
+                shift_lookahead: 8,
+                ..CoverageOptions::quick()
+            },
+        ] {
+            let bytes = opts.to_bytes();
+            assert_eq!(
+                bytes.len(),
+                default_form.len() + 2,
+                "a non-default tail appends both varint fields"
+            );
+            assert_eq!(CoverageOptions::from_bytes(&bytes).unwrap(), opts);
+        }
+
+        // Golden bytes for the extended form: five quick-mode fields plus
+        // the (l1i_kb, shift_lookahead) tail.
+        let extended = CoverageOptions {
+            l1i_kb: 128,
+            shift_lookahead: 48,
+            ..CoverageOptions::quick()
+        };
+        assert_eq!(hex(&extended.to_bytes()), "c09a0c80b5180100808002800130");
+    }
+
+    /// Dropping the whole tail of an extended encoding yields the
+    /// default-tail options (the price of a default-invisible extension,
+    /// harmless because the store compares full key bytes); any *partial*
+    /// tail is an error.
+    #[test]
+    fn truncated_tail_extension_never_half_decodes() {
+        let extended = CoverageOptions {
+            l1i_kb: 64,
+            shift_lookahead: 8,
+            ..CoverageOptions::quick()
+        };
+        let bytes = extended.to_bytes();
+        let without_tail = CoverageOptions::from_bytes(&bytes[..bytes.len() - 2]).unwrap();
+        assert_eq!(without_tail, CoverageOptions::quick());
+        assert!(CoverageOptions::from_bytes(&bytes[..bytes.len() - 1]).is_err());
     }
 }

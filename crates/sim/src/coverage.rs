@@ -30,7 +30,16 @@ pub struct CoverageOptions {
     pub use_shift: bool,
     /// SHIFT history capacity in entries.
     pub history_entries: usize,
+    /// L1-I capacity in kilobytes (paper Table 1: 32). The capacity axis
+    /// of the `l1i-size` sensitivity sweep.
+    pub l1i_kb: usize,
+    /// SHIFT stream lookahead depth in blocks. The depth axis of the
+    /// `shift-lookahead` sensitivity sweep.
+    pub shift_lookahead: usize,
 }
+
+/// The paper's L1-I capacity (Table 1), the [`CoverageOptions`] default.
+pub const DEFAULT_L1I_KB: usize = 32;
 
 impl Default for CoverageOptions {
     fn default() -> Self {
@@ -40,6 +49,8 @@ impl Default for CoverageOptions {
             seed: 1,
             use_shift: false,
             history_entries: confluence_prefetch::DEFAULT_HISTORY_ENTRIES,
+            l1i_kb: DEFAULT_L1I_KB,
+            shift_lookahead: confluence_prefetch::DEFAULT_LOOKAHEAD,
         }
     }
 }
@@ -138,9 +149,9 @@ pub fn run_coverage(
 ) -> CoverageResult {
     let mut result = CoverageResult::default();
     let mut ex = program.executor(opts.seed);
-    let mut l1i = L1ICache::new_32k();
+    let mut l1i = L1ICache::with_capacity_kb(opts.l1i_kb).expect("valid L1-I capacity");
     let mut history = ShiftHistory::with_capacity(opts.history_entries);
-    let mut engine = ShiftEngine::new();
+    let mut engine = ShiftEngine::with_lookahead(opts.shift_lookahead);
     let mut prefetches: Vec<confluence_types::BlockAddr> = Vec::with_capacity(32);
 
     let mut last_block = None;

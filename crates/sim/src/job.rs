@@ -171,6 +171,25 @@ impl Job {
             Job::Density(j) => j.workload,
         }
     }
+
+    /// Relative execution-cost hint for the engine's scheduler. Timing
+    /// jobs step every core every cycle, so they cost roughly
+    /// `cores × instructions`; coverage and density runs walk one trace
+    /// functionally and are orders of magnitude cheaper — a flat `1`
+    /// keeps them behind every timing job without pretending the model
+    /// can rank them finely. Only the *ordering* matters: the engine
+    /// starts expensive jobs first so the batch never ends with one long
+    /// timing run hogging a single worker (and when one does run last,
+    /// the idle workers are lent to it as core shards).
+    pub fn cost_hint(&self) -> u64 {
+        match self {
+            Job::Timing(t) => {
+                let instrs = t.cfg.warmup_instrs.saturating_add(t.cfg.measure_instrs);
+                (t.cfg.cores as u64).saturating_mul(instrs).max(2)
+            }
+            Job::Coverage(_) | Job::Density(_) => 1,
+        }
+    }
 }
 
 impl From<CoverageJob> for Job {

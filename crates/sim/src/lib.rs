@@ -15,10 +15,11 @@ pub mod report;
 pub mod sweeps;
 mod timing;
 
-pub use cmp::{simulate_cmp, TimingConfig, TimingResult};
+pub use cmp::{simulate_cmp, simulate_cmp_with_shards, TimingConfig, TimingResult};
 pub use codec::SCHEMA_VERSION;
 pub use coverage::{
     branch_density, run_coverage, run_coverage_with, CoverageOptions, CoverageResult,
+    DEFAULT_L1I_KB,
 };
 pub use designs::{airbtb_ablation, DesignPoint, PrefetchScheme};
 pub use engine::{EngineStats, SimEngine};

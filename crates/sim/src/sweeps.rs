@@ -64,6 +64,13 @@ pub enum SweepAxis {
     /// Conventional-BTB capacity in entries (Figure 1's geometry at
     /// arbitrary sizes). Metric: BTB MPKI.
     BtbCapacity(Vec<usize>),
+    /// L1-I capacity in kilobytes, on the baseline (no-prefetch) coverage
+    /// run. Metric: L1-I demand MPKI.
+    L1iSizeKb(Vec<usize>),
+    /// SHIFT stream lookahead depth in blocks, on the baseline BTB +
+    /// SHIFT coverage run. Metric: L1-I miss coverage vs the no-prefetch
+    /// baseline.
+    ShiftLookahead(Vec<usize>),
 }
 
 impl SweepAxis {
@@ -82,6 +89,8 @@ impl SweepAxis {
             SweepAxis::BtbCapacity(points) => {
                 points.iter().map(|&n| format!("{}", Kilo(n))).collect()
             }
+            SweepAxis::L1iSizeKb(points) => points.iter().map(|&kb| format!("{kb}KB")).collect(),
+            SweepAxis::ShiftLookahead(points) => points.iter().map(|&d| format!("d{d}")).collect(),
         }
     }
 
@@ -92,6 +101,8 @@ impl SweepAxis {
             SweepAxis::BundleGeometry(p) => p.len(),
             SweepAxis::Cores(p) => p.len(),
             SweepAxis::BtbCapacity(p) => p.len(),
+            SweepAxis::L1iSizeKb(p) => p.len(),
+            SweepAxis::ShiftLookahead(p) => p.len(),
         }
     }
 
@@ -107,6 +118,8 @@ impl SweepAxis {
             SweepAxis::BundleGeometry(_) => "airbtb-bundle-geometry",
             SweepAxis::Cores(_) => "cmp-core-count",
             SweepAxis::BtbCapacity(_) => "conventional-btb-entries",
+            SweepAxis::L1iSizeKb(_) => "l1i-capacity-kb",
+            SweepAxis::ShiftLookahead(_) => "shift-lookahead-blocks",
         }
     }
 }
@@ -198,6 +211,34 @@ fn scaling_job(
     }
 }
 
+/// The baseline (no-prefetch) coverage run at an explicit L1-I capacity.
+/// At the paper's 32 KB this *is* the shared coverage baseline — the tail
+/// extension of the persisted key encodes to nothing at the default.
+fn l1i_size_job(workload: Workload, kb: usize, cfg: &ExperimentConfig) -> CoverageJob {
+    CoverageJob {
+        workload,
+        btb: BtbSpec::Baseline1k,
+        opts: CoverageOptions {
+            l1i_kb: kb,
+            ..cfg.coverage()
+        },
+    }
+}
+
+/// Baseline BTB + SHIFT at an explicit stream lookahead depth. At the
+/// default depth (24) this is byte-for-byte the L1-I table's `+SHIFT`
+/// job.
+fn lookahead_job(workload: Workload, depth: usize, cfg: &ExperimentConfig) -> CoverageJob {
+    CoverageJob {
+        workload,
+        btb: BtbSpec::Baseline1k,
+        opts: CoverageOptions {
+            shift_lookahead: depth,
+            ..cfg.coverage().with_shift()
+        },
+    }
+}
+
 /// Figure 1's conventional-BTB geometry at an arbitrary capacity. At
 /// whole kilo-entry points this aliases Figure 1's sweep.
 fn capacity_job(workload: Workload, entries: usize, cfg: &ExperimentConfig) -> CoverageJob {
@@ -241,6 +282,17 @@ impl SweepSpec {
                 SweepAxis::BtbCapacity(points) => {
                     for &n in points {
                         jobs.push(capacity_job(w, n, cfg).into());
+                    }
+                }
+                SweepAxis::L1iSizeKb(points) => {
+                    for &kb in points {
+                        jobs.push(l1i_size_job(w, kb, cfg).into());
+                    }
+                }
+                SweepAxis::ShiftLookahead(points) => {
+                    jobs.push(baseline_job(w, cfg).into());
+                    for &d in points {
+                        jobs.push(lookahead_job(w, d, cfg).into());
                     }
                 }
             }
@@ -312,6 +364,31 @@ impl SweepSpec {
                 }
                 report
             }
+            SweepAxis::L1iSizeKb(points) => {
+                let mut report = self.table(&["workload"], &labels);
+                for (w, _) in engine.workloads() {
+                    let mut cells = vec![w.name().to_string()];
+                    for &kb in points {
+                        let r = engine.coverage(&l1i_size_job(*w, kb, cfg));
+                        cells.push(f(r.l1i_mpki(), 2));
+                    }
+                    report.row(cells);
+                }
+                report
+            }
+            SweepAxis::ShiftLookahead(points) => {
+                let mut report = self.table(&["workload"], &labels);
+                for (w, _) in engine.workloads() {
+                    let base = engine.coverage(&baseline_job(*w, cfg));
+                    let mut cells = vec![w.name().to_string()];
+                    for &d in points {
+                        let r = engine.coverage(&lookahead_job(*w, d, cfg));
+                        cells.push(pct(r.l1i_miss_coverage_vs(&base)));
+                    }
+                    report.row(cells);
+                }
+                report
+            }
         }
     }
 
@@ -361,6 +438,19 @@ pub fn registry() -> Vec<SweepSpec> {
             caption: "Sweep: conventional-BTB capacity vs BTB MPKI \
                       (Figure 1's geometry at half-K granularity)",
             axis: SweepAxis::BtbCapacity(vec![512, 1024, 4096, 16 * 1024, 64 * 1024]),
+        },
+        SweepSpec {
+            name: "l1i-size",
+            caption: "Sweep: L1-I capacity vs demand MPKI \
+                      (baseline BTB, no prefetch; paper Table 1 runs 32 KB — \
+                      the capacity wall SHIFT exists to climb over)",
+            axis: SweepAxis::L1iSizeKb(vec![16, 32, 64, 128]),
+        },
+        SweepSpec {
+            name: "shift-lookahead",
+            caption: "Sweep: SHIFT stream lookahead depth vs L1-I miss coverage \
+                      (baseline BTB + SHIFT; the engine's default depth is 24 blocks)",
+            axis: SweepAxis::ShiftLookahead(vec![4, 8, 24, 48]),
         },
     ]
 }

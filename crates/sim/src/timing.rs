@@ -19,18 +19,32 @@
 //! - **L1-I miss** — fetch stalls until the fill returns from the LLC
 //!   (MSHR-tracked; prefetched blocks may be partially in flight);
 //! - **Confluence demand fill** — adds the predecoder's scan latency.
+//!
+//! # The two-phase tick
+//!
+//! A cycle is two phases. [`CoreFrontend::step_local`] advances every
+//! core-private structure (pipeline latches, L1-I, BTB, predictors, RNG),
+//! reading the shared SHIFT history through a
+//! [`HistoryView`](confluence_prefetch::HistoryView) and *deferring* every
+//! shared-LLC access as a typed [`FillRequest`];
+//! [`CoreFrontend::commit_fills`] then replays those requests against the
+//! LLC. Within one cycle nothing reads a fill's latency — only its
+//! presence — so splitting request from commit changes no result, and the
+//! CMP executor (`crate::cmp`) can run phase 1 for all cores concurrently
+//! while phase 2 commits serially in fixed core order, byte-identical to
+//! serial stepping at any shard count.
 
 use std::collections::VecDeque;
 
 use confluence_btb::{BtbDesign, ResolvedBranch};
-use confluence_prefetch::{Fdp, ShiftEngine, ShiftHistory};
+use confluence_prefetch::{Fdp, HistoryView, ShiftEngine, ShiftHistory};
 use confluence_trace::{Executor, Program};
 use confluence_types::{
     BlockAddr, BranchKind, DetRng, FetchRegion, PredecodeSource, TraceRecord, VAddr,
 };
 use confluence_uarch::{
-    CoreParams, HybridDirectionPredictor, IndirectTargetCache, L1ICache, MshrFile, Predecoder,
-    ReturnAddressStack, SharedLlc,
+    CoreParams, FillKind, FillRequest, HybridDirectionPredictor, IndirectTargetCache, L1ICache,
+    MshrFile, Predecoder, ReturnAddressStack, SharedLlc, PENDING_FILL,
 };
 
 use crate::designs::{DesignPoint, PrefetchScheme};
@@ -134,6 +148,9 @@ pub struct CoreFrontend<'p> {
     inflight_prefetch: Vec<(BlockAddr, u64)>,
     last_demand_block: Option<BlockAddr>,
     scratch: Vec<BlockAddr>,
+    /// Shared-hierarchy accesses deferred from phase 1 to phase 2, in the
+    /// exact order serial stepping would have performed them.
+    pending_fills: Vec<FillRequest>,
 
     retired: u64,
     warmup_instrs: u64,
@@ -183,6 +200,7 @@ impl<'p> CoreFrontend<'p> {
             inflight_prefetch: Vec::with_capacity(PREFETCH_SLOTS),
             last_demand_block: None,
             scratch: Vec::with_capacity(32),
+            pending_fills: Vec::with_capacity(PREFETCH_SLOTS),
             retired: 0,
             warmup_instrs,
             target_instrs: warmup_instrs + measure_instrs,
@@ -211,8 +229,24 @@ impl<'p> CoreFrontend<'p> {
         self.warm_start_cycle.is_some()
     }
 
-    /// Advances the core by one cycle.
+    /// Advances the core by one cycle against live shared state: the
+    /// serial convenience wrapper over the two-phase tick
+    /// ([`CoreFrontend::step_local`] then [`CoreFrontend::commit_fills`]).
+    /// Single-core harnesses and unit tests use this; the CMP executor
+    /// drives the phases itself so cores can step concurrently.
     pub fn step(&mut self, now: u64, llc: &mut SharedLlc, history: &mut ShiftHistory) {
+        self.step_local(now, &mut HistoryView::Writer(history));
+        self.commit_fills(now, llc);
+    }
+
+    /// Phase 1 of the tick: advances every core-private structure by one
+    /// cycle, reading the shared SHIFT history through `history` and
+    /// deferring every shared-LLC access into the core's fill-request log.
+    /// Safe to run concurrently across cores (each holds `&mut self` and
+    /// an immutable history view); the history generator core must step
+    /// first, alone, with the `Writer` view, so its records of this cycle
+    /// are visible to every follower — the order serial stepping imposes.
+    pub fn step_local(&mut self, now: u64, history: &mut HistoryView<'_>) {
         if self.done_at.is_some() {
             return;
         }
@@ -221,8 +255,31 @@ impl<'p> CoreFrontend<'p> {
         }
         self.drain_fills(now);
         self.retire(now);
-        self.fetch(now, llc, history);
-        self.predict(now, llc);
+        self.fetch(history);
+        self.predict(now);
+    }
+
+    /// Phase 2 of the tick: replays this core's deferred fill requests
+    /// against the shared LLC, in emission order, patching each pending
+    /// MSHR entry or prefetch slot with its real completion cycle. The
+    /// executor calls this serially in fixed core order, which is exactly
+    /// the LLC access order of fully serial stepping — so latencies, LRU
+    /// state, and hit/miss counters are byte-identical at any shard count.
+    pub fn commit_fills(&mut self, now: u64, llc: &mut SharedLlc) {
+        for i in 0..self.pending_fills.len() {
+            let req = self.pending_fills[i];
+            let latency = llc.commit_fill(self.id, &req);
+            match req.kind {
+                FillKind::Demand => self.mshrs.commit_ready(req.block, now + latency),
+                FillKind::Prefetch(slot) => {
+                    let entry = &mut self.inflight_prefetch[slot];
+                    debug_assert_eq!(entry.0, req.block, "prefetch slot moved mid-cycle");
+                    debug_assert_eq!(entry.1, PENDING_FILL, "slot already committed");
+                    entry.1 = now + latency;
+                }
+            }
+        }
+        self.pending_fills.clear();
     }
 
     /// Installs completed demand and prefetch fills.
@@ -279,7 +336,7 @@ impl<'p> CoreFrontend<'p> {
 
     /// Fetch stage: brings the head region's blocks in and delivers up to
     /// `fetch_width` instructions per cycle into the instruction buffer.
-    fn fetch(&mut self, now: u64, llc: &mut SharedLlc, history: &mut ShiftHistory) {
+    fn fetch(&mut self, history: &mut HistoryView<'_>) {
         let Some(head) = self.fetch_queue.front() else {
             return;
         };
@@ -292,7 +349,7 @@ impl<'p> CoreFrontend<'p> {
                 next += 1;
                 continue;
             }
-            let resident = self.block_demand_access(now, llc, history, block);
+            let resident = self.block_demand_access(history, block);
             if !resident {
                 if self.measuring() {
                     self.stats.fetch_stall_cycles += 1;
@@ -321,13 +378,7 @@ impl<'p> CoreFrontend<'p> {
     ///
     /// The fetch stage retries stalled blocks every cycle; only the first
     /// touch counts statistics and feeds the prefetcher/history.
-    fn block_demand_access(
-        &mut self,
-        now: u64,
-        llc: &mut SharedLlc,
-        history: &mut ShiftHistory,
-        block: BlockAddr,
-    ) -> bool {
+    fn block_demand_access(&mut self, history: &mut HistoryView<'_>, block: BlockAddr) -> bool {
         let first_touch = self.last_demand_block != Some(block);
         let hit;
         if first_touch {
@@ -346,18 +397,19 @@ impl<'p> CoreFrontend<'p> {
                 self.scratch.clear();
                 let mut candidates = std::mem::take(&mut self.scratch);
                 self.shift.as_mut().expect("checked").on_access(
-                    history,
+                    history.history(),
                     block,
                     !hit,
                     &mut candidates,
                 );
                 for p in &candidates {
-                    self.issue_prefetch(now, llc, *p);
+                    self.issue_prefetch(*p);
                 }
                 self.scratch = candidates;
             }
             if self.records_history {
-                history.record(block);
+                let recorded = history.record(block);
+                debug_assert!(recorded, "generator core stepped with a Reader view");
             }
         } else {
             hit = self.l1i.contains(block);
@@ -366,16 +418,28 @@ impl<'p> CoreFrontend<'p> {
             return true;
         }
         // Not resident: make sure a fill is outstanding (the MSHR may have
-        // been full on a previous attempt).
+        // been full on a previous attempt). The latency is a phase-2
+        // concern: reserve the entry now, let the commit patch it.
         if self.mshr_or_inflight(block).is_none() && !self.mshrs.is_full() {
-            let mut latency = llc.access(self.id, block);
-            if self.predecode_fills {
-                latency += self.predecoder.latency();
-            }
-            let allocated = self.mshrs.allocate(block, now + latency);
+            let allocated = self.mshrs.allocate_pending(block);
             debug_assert!(allocated);
+            self.pending_fills.push(FillRequest {
+                block,
+                kind: FillKind::Demand,
+                extra_latency: self.fill_extra_latency(),
+            });
         }
         false
+    }
+
+    /// Core-private latency added to every fill's LLC access (the
+    /// Confluence predecoder's scan, for designs that predecode fills).
+    fn fill_extra_latency(&self) -> u64 {
+        if self.predecode_fills {
+            self.predecoder.latency()
+        } else {
+            0
+        }
     }
 
     fn mshr_or_inflight(&self, block: BlockAddr) -> Option<u64> {
@@ -388,8 +452,10 @@ impl<'p> CoreFrontend<'p> {
     }
 
     /// Issues one prefetch fill if the block is not already resident or in
-    /// flight and a prefetch slot is free.
-    fn issue_prefetch(&mut self, now: u64, llc: &mut SharedLlc, block: BlockAddr) {
+    /// flight and a prefetch slot is free. The slot is reserved
+    /// immediately (same-cycle dedup sees it); its completion cycle is a
+    /// deferred fill request committed in phase 2.
+    fn issue_prefetch(&mut self, block: BlockAddr) {
         if self.perfect_l1i
             || self.l1i.contains(block)
             || self.mshr_or_inflight(block).is_some()
@@ -397,19 +463,20 @@ impl<'p> CoreFrontend<'p> {
         {
             return;
         }
-        let mut latency = llc.access(self.id, block);
-        if self.predecode_fills {
-            latency += self.predecoder.latency();
-        }
         if self.measuring() {
             self.stats.prefetch_fills += 1;
         }
-        self.inflight_prefetch.push((block, now + latency));
+        self.inflight_prefetch.push((block, PENDING_FILL));
+        self.pending_fills.push(FillRequest {
+            block,
+            kind: FillKind::Prefetch(self.inflight_prefetch.len() - 1),
+            extra_latency: self.fill_extra_latency(),
+        });
     }
 
     /// BPU stage: produce one fetch region per cycle (when not stalled) and
     /// account branch-prediction penalties.
-    fn predict(&mut self, now: u64, llc: &mut SharedLlc) {
+    fn predict(&mut self, now: u64) {
         if now < self.bpu_ready_at || self.fetch_queue.len() >= self.core.fetch_queue_regions {
             return;
         }
@@ -548,7 +615,7 @@ impl<'p> CoreFrontend<'p> {
                 .on_region_enqueued(region, &mut candidates);
             for p in &candidates {
                 if self.rng.chance(useful_prob) {
-                    self.issue_prefetch(now, llc, *p);
+                    self.issue_prefetch(*p);
                 }
             }
             self.scratch = candidates;

@@ -13,7 +13,13 @@
 //!
 //! Schema evolution is by versioning, not negotiation: a type's encoding
 //! never changes in place — consumers bump their schema version (see
-//! `ResultStore`) and old entries are simply left behind.
+//! `ResultStore`) and old entries are simply left behind. The one
+//! sanctioned in-place evolution is a **tail extension**: a type that
+//! always sits in tail position of its schema's top-level values may
+//! append fields that encode to nothing at their defaults (decode treats
+//! buffer exhaustion as "all defaults"), leaving every previously
+//! written key and entry byte-identical — see `CoverageOptions` in
+//! `confluence_sim::codec` for the pattern and its invariants.
 
 use crate::wire::{self, Reader, WireError};
 

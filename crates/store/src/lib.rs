@@ -23,5 +23,5 @@ mod store;
 pub mod wire;
 
 pub use codec::{Decode, Encode};
-pub use store::{ResultStore, StoreUsage};
+pub use store::{GcStats, ResultStore, StoreUsage};
 pub use wire::{Reader, WireError};

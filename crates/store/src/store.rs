@@ -160,6 +160,55 @@ impl ResultStore {
     pub fn size_bytes(&self) -> u64 {
         self.usage().bytes
     }
+
+    /// Garbage-collects the store down to `cap_bytes`, deleting
+    /// oldest-modified entries first (save refreshes an entry's mtime, so
+    /// "oldest" means least-recently *written*, the store's best proxy
+    /// for cold). Ties break on file name for cross-run determinism.
+    ///
+    /// Best-effort like every other maintenance path: an entry that
+    /// cannot be statted or removed (swept by a concurrent GC, perms) is
+    /// skipped, never fatal — an over-cap store costs disk, not
+    /// correctness, and the next batch's GC pass retries. Evicted entries
+    /// behave exactly like misses: the jobs re-execute and re-warm the
+    /// store on next demand.
+    pub fn evict_to_cap(&self, cap_bytes: u64) -> GcStats {
+        let Ok(dir) = fs::read_dir(&self.root) else {
+            return GcStats::default();
+        };
+        let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = dir
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "bin"))
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                Some((meta.modified().ok()?, e.path(), meta.len()))
+            })
+            .collect();
+        let mut total: u64 = entries.iter().map(|(_, _, len)| len).sum();
+        entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+
+        let mut stats = GcStats::default();
+        for (_, path, len) in entries {
+            if total <= cap_bytes {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                stats.evicted_entries += 1;
+                stats.evicted_bytes += len;
+                total -= len;
+            }
+        }
+        stats
+    }
+}
+
+/// What one [`ResultStore::evict_to_cap`] pass reclaimed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Entry files deleted.
+    pub evicted_entries: usize,
+    /// Their total size in bytes.
+    pub evicted_bytes: u64,
 }
 
 /// On-disk accounting of one schema version's entries.
@@ -343,6 +392,54 @@ mod tests {
         let other_path = store.entry_path(&2u64);
         fs::rename(store.entry_path(&1u64), other_path).unwrap();
         assert_eq!(store.load::<u64>(&2u64), None);
+    }
+
+    #[test]
+    fn gc_caps_the_store_evicting_oldest_first_and_rewarming_works() {
+        let dir = TestDir::new();
+        let store = ResultStore::open(&dir.0, 1).unwrap();
+        // Distinct mtimes oldest→newest (coarse-mtime filesystems would
+        // otherwise collapse the order; ties then break by hash name,
+        // which this test cannot pin).
+        for k in 0..6u64 {
+            store.save(&k, &vec![k; 8]).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(15));
+        }
+        let entry_len = std::fs::metadata(store.entry_path(&0u64)).unwrap().len();
+        let cap = entry_len * 3 + entry_len / 2; // room for exactly 3
+        let gc = store.evict_to_cap(cap);
+        assert_eq!(gc.evicted_entries, 3);
+        assert_eq!(gc.evicted_bytes, entry_len * 3);
+        assert!(store.size_bytes() <= cap, "store must respect the cap");
+        for k in 0..3u64 {
+            assert_eq!(store.load::<Vec<u64>>(&k), None, "oldest {k} must go");
+        }
+        for k in 3..6u64 {
+            assert!(store.load::<Vec<u64>>(&k).is_some(), "newest {k} must stay");
+        }
+
+        // A satisfied cap is a no-op...
+        assert_eq!(store.evict_to_cap(cap), GcStats::default());
+        // ...and evicted keys re-warm like any miss, then age out again.
+        store.save(&0u64, &vec![0u64; 8]).unwrap();
+        assert!(store.load::<Vec<u64>>(&0u64).is_some());
+        let gc = store.evict_to_cap(cap);
+        assert_eq!(gc.evicted_entries, 1, "re-warming must re-enter the cap");
+        assert!(store.size_bytes() <= cap);
+    }
+
+    #[test]
+    fn gc_cap_zero_empties_the_store() {
+        let dir = TestDir::new();
+        let store = ResultStore::open(&dir.0, 1).unwrap();
+        for k in 0..4u64 {
+            store.save(&k, &k).unwrap();
+        }
+        let before = store.size_bytes();
+        let gc = store.evict_to_cap(0);
+        assert_eq!(gc.evicted_entries, 4);
+        assert_eq!(gc.evicted_bytes, before);
+        assert!(store.is_empty());
     }
 
     #[test]

@@ -24,6 +24,26 @@ impl L1ICache {
         Self::new(p.l1i_sets(), p.l1i_ways).expect("default geometry is valid")
     }
 
+    /// Creates an L1-I of `kb` kilobytes at the default associativity and
+    /// block size (the capacity axis of the L1-I sensitivity sweep).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the capacity does not divide into a
+    /// power-of-two set count (64 B blocks, 4 ways: any power-of-two
+    /// capacity ≥ 1 KB works).
+    pub fn with_capacity_kb(kb: usize) -> Result<Self, ConfigError> {
+        let p = MemParams::default();
+        let blocks = kb * 1024 / p.block_bytes;
+        if blocks == 0 || !blocks.is_multiple_of(p.l1i_ways) {
+            return Err(ConfigError::new(format!(
+                "L1-I capacity {kb} KB does not fit {}-way {}-byte blocks",
+                p.l1i_ways, p.block_bytes
+            )));
+        }
+        Self::new(blocks / p.l1i_ways, p.l1i_ways)
+    }
+
     /// Creates an L1-I with explicit geometry.
     ///
     /// # Errors
@@ -112,6 +132,23 @@ mod tests {
     fn default_geometry_is_512_blocks() {
         let c = L1ICache::new_32k();
         assert_eq!(c.capacity_blocks(), 512);
+    }
+
+    #[test]
+    fn capacity_kb_constructor_scales_blocks() {
+        assert_eq!(
+            L1ICache::with_capacity_kb(32).unwrap().capacity_blocks(),
+            512
+        );
+        assert_eq!(
+            L1ICache::with_capacity_kb(16).unwrap().capacity_blocks(),
+            256
+        );
+        assert_eq!(
+            L1ICache::with_capacity_kb(128).unwrap().capacity_blocks(),
+            2048
+        );
+        assert!(L1ICache::with_capacity_kb(0).is_err());
     }
 
     #[test]

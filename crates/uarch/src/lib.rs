@@ -25,6 +25,7 @@
 
 mod cache;
 mod direction;
+mod fill;
 mod indirect;
 mod l1i;
 mod llc;
@@ -36,6 +37,7 @@ mod ras;
 
 pub use cache::SetAssocCache;
 pub use direction::HybridDirectionPredictor;
+pub use fill::{FillKind, FillRequest, PENDING_FILL};
 pub use indirect::IndirectTargetCache;
 pub use l1i::L1ICache;
 pub use llc::SharedLlc;

@@ -53,6 +53,32 @@ impl MshrFile {
         true
     }
 
+    /// Request half of a two-phase allocation: reserves the entry now (so
+    /// same-cycle occupancy and dedup checks see it) with the
+    /// [`PENDING_FILL`](crate::PENDING_FILL) sentinel as its ready time.
+    /// The caller must [`MshrFile::commit_ready`] the real completion
+    /// cycle before the next drain.
+    pub fn allocate_pending(&mut self, block: BlockAddr) -> bool {
+        self.allocate(block, crate::PENDING_FILL)
+    }
+
+    /// Commit half of a two-phase allocation: patches the reserved
+    /// entry's completion cycle once the shared-hierarchy access has been
+    /// performed serially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry for `block` is pending — a phase-ordering bug.
+    pub fn commit_ready(&mut self, block: BlockAddr, ready_cycle: u64) {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|(b, _)| *b == block)
+            .expect("commit_ready without a pending allocation");
+        debug_assert_eq!(entry.1, crate::PENDING_FILL, "entry already committed");
+        entry.1 = ready_cycle;
+    }
+
     /// Releases entries that have completed by `now` and returns them.
     pub fn drain_completed(&mut self, now: u64) -> Vec<BlockAddr> {
         let mut done = Vec::new();
@@ -103,6 +129,25 @@ mod tests {
         assert_eq!(done, vec![BlockAddr::from_raw(1)]);
         assert_eq!(m.outstanding(), 1);
         assert!(!m.is_full());
+    }
+
+    #[test]
+    fn pending_allocation_blocks_duplicates_and_never_drains_early() {
+        let mut m = MshrFile::new(2);
+        assert!(m.allocate_pending(BlockAddr::from_raw(7)));
+        // Presence is visible immediately (same-cycle dedup)...
+        assert!(!m.allocate(BlockAddr::from_raw(7), 5));
+        // ...but the sentinel never completes.
+        assert!(m.drain_completed(u64::MAX - 1).is_empty());
+        m.commit_ready(BlockAddr::from_raw(7), 12);
+        assert_eq!(m.ready_at(BlockAddr::from_raw(7)), Some(12));
+        assert_eq!(m.drain_completed(12), vec![BlockAddr::from_raw(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a pending allocation")]
+    fn commit_without_request_panics() {
+        MshrFile::new(2).commit_ready(BlockAddr::from_raw(1), 3);
     }
 
     #[test]

@@ -179,6 +179,7 @@ fn arb_record() -> impl Strategy<Value = TraceRecord> {
 // Persistent-store codec: arbitrary jobs and outputs round-trip the
 // versioned binary schema (`confluence_sim::codec`).
 
+use confluence::prefetch::DEFAULT_LOOKAHEAD;
 use confluence::sim::{
     BtbSpec, CoverageJob, CoverageResult, DensityJob, Job, JobOutput, TimingJob,
 };
@@ -238,15 +239,27 @@ fn arb_coverage_options() -> impl Strategy<Value = CoverageOptions> {
     (
         (any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<bool>(), 0usize..1 << 20),
+        // Bias the v1 tail extension toward its defaults so both the
+        // five-field and the extended encodings get real coverage.
+        prop_oneof![
+            Just((confluence_sim::DEFAULT_L1I_KB, DEFAULT_LOOKAHEAD)),
+            (1usize..512, 1usize..256),
+        ],
     )
         .prop_map(
-            |((warmup_instrs, measure_instrs, seed), (use_shift, history_entries))| {
+            |(
+                (warmup_instrs, measure_instrs, seed),
+                (use_shift, history_entries),
+                (l1i_kb, shift_lookahead),
+            )| {
                 CoverageOptions {
                     warmup_instrs,
                     measure_instrs,
                     seed,
                     use_shift,
                     history_entries,
+                    l1i_kb,
+                    shift_lookahead,
                 }
             },
         )
@@ -484,13 +497,26 @@ proptest! {
         prop_assert_eq!(decoded.to_bytes(), bytes);
     }
 
-    /// Decoding truncated prefixes of a valid encoding never panics and
-    /// never silently succeeds with a short read.
+    /// Decoding truncated prefixes of a valid encoding never panics,
+    /// never reproduces the original job, and — because coverage options
+    /// carry a default-invisible tail extension — any prefix that *does*
+    /// decode must be canonical (it re-encodes to exactly that prefix,
+    /// i.e. it is the legitimate encoding of a default-tail job, which
+    /// the store's full-key comparison distinguishes anyway).
     #[test]
-    fn truncated_job_encodings_error(job in arb_job()) {
+    fn truncated_job_encodings_never_alias(job in arb_job()) {
         let bytes = job.to_bytes();
         for keep in 0..bytes.len() {
-            prop_assert!(Job::from_bytes(&bytes[..keep]).is_err(), "prefix {keep}");
+            match Job::from_bytes(&bytes[..keep]) {
+                Err(_) => {}
+                Ok(decoded) => {
+                    prop_assert!(decoded != job, "prefix {keep} decoded to the original");
+                    prop_assert!(
+                        decoded.to_bytes() == bytes[..keep],
+                        "prefix {keep} decoded non-canonically"
+                    );
+                }
+            }
         }
     }
 }

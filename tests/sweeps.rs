@@ -146,6 +146,47 @@ fn check_properties(spec: &SweepSpec, report: &Report) {
                 }
             }
         }
+        SweepAxis::L1iSizeKb(points) => {
+            for row in rows {
+                let mpki: Vec<f64> = row[1..].iter().map(|c| num_cell(c)).collect();
+                assert_eq!(mpki.len(), points.len());
+                for w in mpki.windows(2) {
+                    assert!(
+                        w[1] <= w[0],
+                        "{}: a larger L1-I raised demand MPKI ({row:?})",
+                        spec.name
+                    );
+                }
+            }
+        }
+        SweepAxis::ShiftLookahead(points) => {
+            // Coverage grows with depth until the stream runs usefully
+            // ahead of fetch; past that, deeper speculation can pollute
+            // the L1-I. So: monotone non-decreasing up to the engine's
+            // default depth, and points beyond it may regress only within
+            // a small pollution band of the peak.
+            for row in rows {
+                let cov: Vec<f64> = row[1..].iter().map(|c| pct_cell(c)).collect();
+                assert_eq!(cov.len(), points.len());
+                let mut peak = f64::MIN;
+                for (i, (&depth, &c)) in points.iter().zip(&cov).enumerate() {
+                    if depth <= confluence::prefetch::DEFAULT_LOOKAHEAD && i > 0 {
+                        assert!(
+                            c >= cov[i - 1],
+                            "{}: coverage fell below-default-depth ({row:?})",
+                            spec.name
+                        );
+                    }
+                    assert!(
+                        c >= peak - 2.0,
+                        "{}: depth {depth} regressed more than the 2pp \
+                         pollution band below the peak ({row:?})",
+                        spec.name
+                    );
+                    peak = peak.max(c);
+                }
+            }
+        }
     }
 }
 
