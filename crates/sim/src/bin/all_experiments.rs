@@ -31,7 +31,7 @@ fn main() {
     let cfg = flags.config();
 
     eprintln!("generating workloads...");
-    let mut engine = cfg.engine();
+    let mut engine = cfg.engine().with_exec_mode(cli::exec_mode_from_args(&args));
     if serial {
         engine = engine.with_threads(1);
     } else if let Some(n) = flags.threads {

@@ -62,7 +62,7 @@ fn main() {
     let cfg = flags.config();
 
     eprintln!("generating workloads...");
-    let mut engine = cfg.engine();
+    let mut engine = cfg.engine().with_exec_mode(cli::exec_mode_from_args(&args));
     if let Some(n) = flags.threads {
         engine = engine.with_threads(n);
     }

@@ -36,7 +36,7 @@ fn main() {
     let flags = cli::parse_common(&args);
     let compare = args.iter().any(|a| a == "--compare-serial");
     let cfg = flags.config();
-    let mut engine = cfg.engine();
+    let mut engine = cfg.engine().with_exec_mode(cli::exec_mode_from_args(&args));
     if let Some(n) = flags.threads {
         engine = engine.with_threads(n);
     }

@@ -17,6 +17,7 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use confluence_store::ResultStore;
+use confluence_trace::ExecMode;
 
 use crate::codec::SCHEMA_VERSION;
 use crate::engine::{EngineStats, SimEngine};
@@ -57,6 +58,20 @@ fn flag_value(args: &[String], flag: &str, what: &str, env: Option<&str>) -> Opt
     env.and_then(std::env::var_os)
         .filter(|v| !v.is_empty())
         .and_then(|v| v.into_string().ok())
+}
+
+/// The execution mode the given command line asks for: `--no-fastpath`
+/// forces the reference interpreter, otherwise the
+/// [`CONFLUENCE_NO_FASTPATH`](confluence_trace::NO_FASTPATH_ENV)
+/// environment variable decides (defaulting to the compiled fast path).
+/// Either way the outputs are bit-identical — the flag only trades speed
+/// for a shorter audit trail.
+pub fn exec_mode_from_args(args: &[String]) -> ExecMode {
+    if args.iter().any(|a| a == "--no-fastpath") {
+        ExecMode::Reference
+    } else {
+        ExecMode::from_env()
+    }
 }
 
 /// The store directory the given command line asks for, if any.
@@ -182,7 +197,7 @@ pub fn run_figure(figure: fn(&SimEngine, &ExperimentConfig) -> Report) {
     let args: Vec<String> = std::env::args().collect();
     let flags = parse_common(&args);
     let cfg = flags.config();
-    let mut engine = cfg.engine();
+    let mut engine = cfg.engine().with_exec_mode(exec_mode_from_args(&args));
     if let Some(n) = flags.threads {
         engine = engine.with_threads(n);
     }
@@ -290,7 +305,9 @@ pub fn compare_serial(
         return;
     }
     eprintln!("re-running the batch serially for comparison...");
-    let reference = SimEngine::new(engine.workloads().to_vec()).with_threads(1);
+    let reference = SimEngine::new(engine.workloads().to_vec())
+        .with_threads(1)
+        .with_exec_mode(engine.exec_mode());
     let start = Instant::now();
     reference.run(jobs);
     let serial_elapsed = start.elapsed();

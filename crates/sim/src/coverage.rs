@@ -8,8 +8,8 @@
 
 use confluence_btb::{BtbDesign, ResolvedBranch};
 use confluence_prefetch::{ShiftEngine, ShiftHistory};
-use confluence_trace::Program;
-use confluence_types::{PredecodeSource, VAddr};
+use confluence_trace::{ExecMode, Program};
+use confluence_types::{BlockAddr, PredecodeSource, VAddr};
 use confluence_uarch::L1ICache;
 
 /// Options for a functional coverage run.
@@ -131,6 +131,44 @@ fn coverage(mpki: f64, baseline_mpki: f64) -> f64 {
     }
 }
 
+/// Block-grain L1-I residency tracking shared by the coverage harness and
+/// the branch-density characterization: collapses consecutive accesses to
+/// the same block into one demand access, so the two measurements cannot
+/// drift apart in how they define a block touch.
+struct BlockResidency {
+    l1i: L1ICache,
+    last_block: Option<BlockAddr>,
+}
+
+impl BlockResidency {
+    fn new(l1i: L1ICache) -> BlockResidency {
+        BlockResidency {
+            l1i,
+            last_block: None,
+        }
+    }
+
+    /// Registers a fetch at `block`: `None` while execution stays within
+    /// the previously accessed block, `Some(hit)` on the first touch of a
+    /// new block.
+    #[inline]
+    fn access(&mut self, block: BlockAddr) -> Option<bool> {
+        if self.last_block == Some(block) {
+            return None;
+        }
+        self.last_block = Some(block);
+        Some(self.l1i.access(block))
+    }
+
+    fn fill(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        self.l1i.fill(block)
+    }
+
+    fn contains(&self, block: BlockAddr) -> bool {
+        self.l1i.contains(block)
+    }
+}
+
 /// Runs the functional harness for one BTB design over one core's trace.
 ///
 /// Per committed instruction the harness:
@@ -147,20 +185,35 @@ pub fn run_coverage(
     btb: &mut dyn BtbDesign,
     opts: &CoverageOptions,
 ) -> CoverageResult {
+    run_coverage_mode(program, btb, opts, ExecMode::from_env())
+}
+
+/// [`run_coverage`] through an explicit execution path.
+///
+/// The default entry point resolves the path from the environment; this
+/// variant lets the experiment engine (and the equivalence harness) pin it
+/// in-process.
+pub fn run_coverage_mode(
+    program: &Program,
+    btb: &mut dyn BtbDesign,
+    opts: &CoverageOptions,
+    mode: ExecMode,
+) -> CoverageResult {
     let mut result = CoverageResult::default();
-    let mut ex = program.executor(opts.seed);
-    let mut l1i = L1ICache::with_capacity_kb(opts.l1i_kb).expect("valid L1-I capacity");
+    let mut stream = program.stream(opts.seed, mode);
+    let l1i = L1ICache::with_capacity_kb(opts.l1i_kb).expect("valid L1-I capacity");
+    let mut residency = BlockResidency::new(l1i);
     let mut history = ShiftHistory::with_capacity(opts.history_entries);
     let mut engine = ShiftEngine::with_lookahead(opts.shift_lookahead);
-    let mut prefetches: Vec<confluence_types::BlockAddr> = Vec::with_capacity(32);
+    let mut prefetches: Vec<BlockAddr> = Vec::with_capacity(32);
 
-    let mut last_block = None;
     let mut bb_start: Option<VAddr> = None;
     let total = opts.warmup_instrs + opts.measure_instrs;
+    let mut i = 0u64;
 
-    for i in 0..total {
-        let Some(r) = ex.next_record() else { break };
+    stream.for_each_record(total, |r| {
         let measuring = i >= opts.warmup_instrs;
+        i += 1;
         if measuring {
             result.instrs += 1;
         }
@@ -171,9 +224,7 @@ pub fn run_coverage(
 
         // 2. Fetch-side block access.
         let block = r.pc.block();
-        if last_block != Some(block) {
-            last_block = Some(block);
-            let hit = l1i.access(block);
+        if let Some(hit) = residency.access(block) {
             if measuring {
                 result.l1i_accesses += 1;
                 if !hit {
@@ -182,7 +233,7 @@ pub fn run_coverage(
             }
             if !hit {
                 btb.on_l1i_fill(block, program.branches_in_block(block));
-                if let Some(evicted) = l1i.fill(block) {
+                if let Some(evicted) = residency.fill(block) {
                     btb.on_l1i_evict(evicted);
                 }
             }
@@ -191,12 +242,12 @@ pub fn run_coverage(
                 prefetches.clear();
                 engine.on_access(&history, block, !hit, &mut prefetches);
                 for &p in &prefetches {
-                    if !l1i.contains(p) {
+                    if !residency.contains(p) {
                         if measuring {
                             result.prefetch_fills += 1;
                         }
                         btb.on_l1i_fill(p, program.branches_in_block(p));
-                        if let Some(evicted) = l1i.fill(p) {
+                        if let Some(evicted) = residency.fill(p) {
                             btb.on_l1i_evict(evicted);
                         }
                     }
@@ -225,7 +276,7 @@ pub fn run_coverage(
             });
             bb_start = Some(r.next_pc());
         }
-    }
+    });
     result
 }
 
@@ -240,39 +291,57 @@ pub fn run_coverage_with(
     make_btb: impl FnOnce() -> Box<dyn BtbDesign>,
     opts: &CoverageOptions,
 ) -> CoverageResult {
+    run_coverage_with_mode(program, make_btb, opts, ExecMode::from_env())
+}
+
+/// [`run_coverage_with`] through an explicit execution path.
+pub fn run_coverage_with_mode(
+    program: &Program,
+    make_btb: impl FnOnce() -> Box<dyn BtbDesign>,
+    opts: &CoverageOptions,
+    mode: ExecMode,
+) -> CoverageResult {
     let mut btb = make_btb();
-    run_coverage(program, &mut *btb, opts)
+    run_coverage_mode(program, &mut *btb, opts, mode)
 }
 
 /// Table 2's branch-density characterization: mean static branches per
 /// demand-fetched block, and mean distinct taken branches executed during a
 /// block's L1-I residency ("dynamic").
 pub fn branch_density(program: &Program, instrs: u64, seed: u64) -> (f64, f64) {
+    branch_density_mode(program, instrs, seed, ExecMode::from_env())
+}
+
+/// [`branch_density`] through an explicit execution path.
+///
+/// Shares [`BlockResidency`] with the coverage harness, so both define a
+/// block touch (and therefore a residency) identically.
+pub fn branch_density_mode(
+    program: &Program,
+    instrs: u64,
+    seed: u64,
+    mode: ExecMode,
+) -> (f64, f64) {
     use std::collections::{HashMap, HashSet};
-    let mut ex = program.executor(seed);
-    let mut l1i = L1ICache::new_32k();
-    let mut last_block = None;
+    let mut stream = program.stream(seed, mode);
+    let mut residency = BlockResidency::new(L1ICache::new_32k());
     // Distinct taken-branch PCs executed during the current residency.
-    let mut live: HashMap<confluence_types::BlockAddr, HashSet<VAddr>> = HashMap::new();
+    let mut live: HashMap<BlockAddr, HashSet<VAddr>> = HashMap::new();
     let mut static_sum = 0u64;
     let mut static_n = 0u64;
     let mut dyn_sum = 0u64;
     let mut dyn_n = 0u64;
 
-    for _ in 0..instrs {
-        let Some(r) = ex.next_record() else { break };
+    stream.for_each_record(instrs, |r| {
         let block = r.pc.block();
-        if last_block != Some(block) {
-            last_block = Some(block);
-            if !l1i.access(block) {
-                static_sum += program.branches_in_block(block).len() as u64;
-                static_n += 1;
-                live.insert(block, HashSet::new());
-                if let Some(evicted) = l1i.fill(block) {
-                    if let Some(set) = live.remove(&evicted) {
-                        dyn_sum += set.len() as u64;
-                        dyn_n += 1;
-                    }
+        if residency.access(block) == Some(false) {
+            static_sum += program.branches_in_block(block).len() as u64;
+            static_n += 1;
+            live.insert(block, HashSet::new());
+            if let Some(evicted) = residency.fill(block) {
+                if let Some(set) = live.remove(&evicted) {
+                    dyn_sum += set.len() as u64;
+                    dyn_n += 1;
                 }
             }
         }
@@ -283,7 +352,7 @@ pub fn branch_density(program: &Program, instrs: u64, seed: u64) -> (f64, f64) {
                 }
             }
         }
-    }
+    });
     // Account for blocks still resident at the end.
     for (_, set) in live {
         dyn_sum += set.len() as u64;
@@ -391,6 +460,27 @@ mod tests {
             rf.btb_mpki(),
             rs.btb_mpki()
         );
+    }
+
+    #[test]
+    fn coverage_paths_are_bit_identical() {
+        let p = Program::generate(&WorkloadSpec::tiny()).unwrap();
+        let opts = CoverageOptions {
+            warmup_instrs: 50_000,
+            measure_instrs: 100_000,
+            ..Default::default()
+        }
+        .with_shift();
+        let mut a = ConventionalBtb::baseline_1k().unwrap();
+        let fast = run_coverage_mode(&p, &mut a, &opts, ExecMode::Compiled);
+        let mut b = ConventionalBtb::baseline_1k().unwrap();
+        let slow = run_coverage_mode(&p, &mut b, &opts, ExecMode::Reference);
+        assert_eq!(fast, slow);
+
+        let df = branch_density_mode(&p, 200_000, 1, ExecMode::Compiled);
+        let ds = branch_density_mode(&p, 200_000, 1, ExecMode::Reference);
+        assert_eq!(df.0.to_bits(), ds.0.to_bits());
+        assert_eq!(df.1.to_bits(), ds.1.to_bits());
     }
 
     #[test]

@@ -36,11 +36,11 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use confluence_store::ResultStore;
-use confluence_trace::{Program, Workload};
+use confluence_trace::{ExecMode, Program, Workload};
 
-use crate::cmp::{simulate_cmp_with_shards, TimingResult};
+use crate::cmp::{simulate_cmp_with_shards_mode, TimingResult};
 use crate::codec::{output_matches, StoreKey};
-use crate::coverage::{branch_density, run_coverage_with, CoverageResult};
+use crate::coverage::{branch_density_mode, run_coverage_with_mode, CoverageResult};
 use crate::job::{CoverageJob, DensityJob, Job, JobOutput, TimingJob};
 
 /// Snapshot of the engine's cache accounting.
@@ -87,6 +87,13 @@ impl Slot {
 pub struct SimEngine {
     workloads: Vec<(Workload, Arc<Program>)>,
     threads: usize,
+    /// Record-stream path every job executes through. Outputs are
+    /// byte-identical across modes, so the mode is *not* part of any cache
+    /// or store key — entries are shared freely between fast-path and
+    /// reference runs. The compiled form itself is cached on each
+    /// `Arc<Program>` (`Program::compiled`), so the whole suite pays one
+    /// translation per workload per process, shared across jobs and shards.
+    mode: ExecMode,
     cache: Mutex<HashMap<Job, Arc<Slot>>>,
     store: Option<ResultStore>,
     requests: AtomicU64,
@@ -114,6 +121,7 @@ impl SimEngine {
         SimEngine {
             workloads,
             threads,
+            mode: ExecMode::from_env(),
             cache: Mutex::new(HashMap::new()),
             store: None,
             requests: AtomicU64::new(0),
@@ -130,6 +138,19 @@ impl SimEngine {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Overrides the record-stream execution path (the default is
+    /// resolved from `CONFLUENCE_NO_FASTPATH`). Results do not depend on
+    /// the mode, only wall-clock time does.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The record-stream path this engine executes jobs through.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Attaches a persistent result store as the second cache tier:
@@ -357,21 +378,27 @@ impl SimEngine {
         match job {
             Job::Coverage(c) => {
                 let program = self.program(c.workload);
-                JobOutput::Coverage(run_coverage_with(program, || c.btb.build(program), &c.opts))
+                JobOutput::Coverage(run_coverage_with_mode(
+                    program,
+                    || c.btb.build(program),
+                    &c.opts,
+                    self.mode,
+                ))
             }
             Job::Timing(t) => {
                 let program = self.program(t.workload);
                 let lease = self.borrow_idle_slots();
-                JobOutput::Timing(Arc::new(simulate_cmp_with_shards(
+                JobOutput::Timing(Arc::new(simulate_cmp_with_shards_mode(
                     program,
                     t.design,
                     &t.cfg,
                     1 + lease.extra,
+                    self.mode,
                 )))
             }
             Job::Density(d) => {
                 let program = self.program(d.workload);
-                let (s, dy) = branch_density(program, d.instrs, d.seed);
+                let (s, dy) = branch_density_mode(program, d.instrs, d.seed, self.mode);
                 JobOutput::Density(s, dy)
             }
         }

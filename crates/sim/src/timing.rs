@@ -38,7 +38,7 @@ use std::collections::VecDeque;
 
 use confluence_btb::{BtbDesign, ResolvedBranch};
 use confluence_prefetch::{Fdp, HistoryView, ShiftEngine, ShiftHistory};
-use confluence_trace::{Executor, Program};
+use confluence_trace::{ExecMode, Program, RecordStream};
 use confluence_types::{
     BlockAddr, BranchKind, DetRng, FetchRegion, PredecodeSource, TraceRecord, VAddr,
 };
@@ -124,7 +124,7 @@ struct PendingRegion {
 pub struct CoreFrontend<'p> {
     id: usize,
     program: &'p Program,
-    ex: Executor<'p>,
+    stream: RecordStream<'p>,
     btb: Box<dyn BtbDesign>,
     dir: HybridDirectionPredictor,
     itc: IndirectTargetCache,
@@ -172,12 +172,13 @@ impl<'p> CoreFrontend<'p> {
         warmup_instrs: u64,
         measure_instrs: u64,
         seed: u64,
+        mode: ExecMode,
     ) -> Self {
         let spec = program.spec();
         CoreFrontend {
             id,
             program,
-            ex: program.executor(seed ^ (id as u64) << 32),
+            stream: program.stream(seed ^ (id as u64) << 32, mode),
             btb: design.build_btb(llc_latency),
             dir: HybridDirectionPredictor::new_16k(),
             itc: IndirectTargetCache::new_1k(),
@@ -628,7 +629,7 @@ impl<'p> CoreFrontend<'p> {
         if let Some(r) = self.lookahead.pop_front() {
             return r;
         }
-        self.ex.next_record().expect("executor never ends")
+        self.stream.next_record().expect("executor never ends")
     }
 }
 
@@ -645,6 +646,15 @@ mod tests {
     }
 
     fn run_on(program: &Program, design: DesignPoint, instrs: u64) -> CoreStats {
+        run_on_mode(program, design, instrs, ExecMode::from_env())
+    }
+
+    fn run_on_mode(
+        program: &Program,
+        design: DesignPoint,
+        instrs: u64,
+        mode: ExecMode,
+    ) -> CoreStats {
         let mut llc = SharedLlc::new(MemParams::default()).unwrap();
         let mut history = ShiftHistory::with_capacity(8192);
         let mut core = CoreFrontend::new(
@@ -656,6 +666,7 @@ mod tests {
             instrs / 2,
             instrs / 2,
             7,
+            mode,
         );
         let mut now = 0;
         while !core.is_done() && now < instrs * 50 {
@@ -664,6 +675,24 @@ mod tests {
         }
         assert!(core.is_done(), "core did not finish within the cycle guard");
         core.stats()
+    }
+
+    #[test]
+    fn core_stats_identical_across_exec_modes() {
+        let program = Program::generate(&WorkloadSpec::tiny()).unwrap();
+        let fast = run_on_mode(
+            &program,
+            DesignPoint::Confluence,
+            60_000,
+            ExecMode::Compiled,
+        );
+        let slow = run_on_mode(
+            &program,
+            DesignPoint::Confluence,
+            60_000,
+            ExecMode::Reference,
+        );
+        assert_eq!(fast, slow);
     }
 
     #[test]

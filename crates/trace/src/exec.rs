@@ -12,7 +12,28 @@ use confluence_types::{DetRng, TraceRecord, VAddr};
 use crate::program::{Program, Term};
 
 /// Maximum plausible call depth; exceeded only by a generator bug.
-const STACK_GUARD: usize = 512;
+pub(crate) const STACK_GUARD: usize = 512;
+
+/// 64-bit mixer (splitmix-style finalizer).
+///
+/// Shared by the reference [`Executor`] and the compiled fast path
+/// (`crate::compile`); keeping one definition is what guarantees the two
+/// paths draw bit-identical outcomes.
+#[inline]
+pub(crate) fn mix(a: u64, b: u64) -> u64 {
+    let mut h = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// Deterministic per-(site, flavor) draw in `[0, 1)`.
+#[inline]
+pub(crate) fn site_unit(flavor: u64, site: u32, salt: u64) -> f64 {
+    (mix(flavor ^ salt, site as u64) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
 
 /// Streaming executor over a generated program.
 ///
@@ -131,7 +152,7 @@ impl<'p> Executor<'p> {
         if !os.is_empty() && self.rng.chance(spec.os_interleave) {
             let idx = self.rng.index(os.len());
             // OS routines have a small flavor pool of their own.
-            self.flavor = Self::mix(0x05_05, (idx as u64) << 32 | self.rng.below(8));
+            self.flavor = mix(0x05_05, (idx as u64) << 32 | self.rng.below(8));
             return os[idx];
         }
         let draw = self.rng.f64();
@@ -143,32 +164,15 @@ impl<'p> Executor<'p> {
         // Draw a flavor from the request type's bounded pool: the same
         // flavor recurs every ~pool_size requests of this type.
         let flavor_idx = self.rng.below(spec.flavors_per_request as u64);
-        self.flavor = Self::mix((idx as u64) << 32, flavor_idx);
+        self.flavor = mix((idx as u64) << 32, flavor_idx);
         self.program.request_entries()[idx].0
-    }
-
-    /// 64-bit mixer (splitmix-style finalizer).
-    #[inline]
-    fn mix(a: u64, b: u64) -> u64 {
-        let mut h = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        h ^= h >> 30;
-        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        h ^= h >> 27;
-        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
-        h ^ (h >> 31)
-    }
-
-    /// Deterministic per-(site, flavor) draw in `[0, 1)`.
-    #[inline]
-    fn site_unit(&self, site: u32, salt: u64) -> f64 {
-        (Self::mix(self.flavor ^ salt, site as u64) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Weighted pick that is deterministic per (site, request flavor):
     /// the same indirect site resolves identically within one request
     /// flavor, preserving the target distribution across flavors.
     fn pick_weighted(&self, site: u32, choices: &[(u32, f32)]) -> u32 {
-        let unit = self.site_unit(site, 0x1D1) as f32;
+        let unit = site_unit(self.flavor, site, 0x1D1) as f32;
         let total: f32 = choices.iter().map(|&(_, w)| w).sum();
         let mut draw = unit * total;
         for &(t, w) in choices {
@@ -190,7 +194,7 @@ impl<'p> Executor<'p> {
             // Loop back-edge: deterministic trip count for this flavor.
             let mean = (1.0 / (1.0 - taken_prob.min(0.97))).ceil() as u64;
             let span = (2 * mean).max(2);
-            let trip = 1 + (Self::mix(self.flavor ^ 0x7219, site as u64) % span) as u32;
+            let trip = 1 + (mix(self.flavor ^ 0x7219, site as u64) % span) as u32;
             let ctr = self.loop_counters.entry(site).or_insert(0);
             *ctr += 1;
             if *ctr < trip {
@@ -200,7 +204,7 @@ impl<'p> Executor<'p> {
                 false
             }
         } else {
-            self.site_unit(site, 0xC02D) < taken_prob
+            site_unit(self.flavor, site, 0xC02D) < taken_prob
         }
     }
 

@@ -30,12 +30,14 @@
 
 #![warn(missing_docs)]
 
+mod compile;
 mod exec;
 mod program;
 mod serialize;
 mod spec;
 mod stats;
 
+pub use compile::{CompiledExecutor, CompiledProgram, ExecMode, RecordStream, NO_FASTPATH_ENV};
 pub use exec::Executor;
 pub use program::{Program, ProgramStats};
 pub use serialize::{decode_records, encode_records, DecodeTraceError};

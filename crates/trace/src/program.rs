@@ -11,12 +11,14 @@
 //! byte for byte, so simulation results are reproducible.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use confluence_types::{
     BlockAddr, BranchKind, ConfigError, DetRng, PredecodeSource, PredecodedBranch, VAddr,
     INSTR_BYTES,
 };
 
+use crate::compile::CompiledProgram;
 use crate::spec::WorkloadSpec;
 
 /// Base virtual address where generated code is laid out.
@@ -137,6 +139,8 @@ pub struct Program {
     /// Predecode oracle: block address -> static branches in the block.
     predecode: HashMap<BlockAddr, Vec<PredecodedBranch>>,
     stats: ProgramStats,
+    /// Lazily translated fast-path form (see [`Program::compiled`]).
+    compiled: OnceLock<Arc<CompiledProgram>>,
 }
 
 impl Program {
@@ -186,6 +190,10 @@ impl Program {
 
     pub(crate) fn os_entries(&self) -> &[u32] {
         &self.os_entries
+    }
+
+    pub(crate) fn compiled_cache(&self) -> &OnceLock<Arc<CompiledProgram>> {
+        &self.compiled
     }
 }
 
@@ -280,6 +288,7 @@ impl Builder {
             os_entries: self.os_entries,
             predecode,
             stats,
+            compiled: OnceLock::new(),
         }
     }
 

@@ -5,9 +5,12 @@
 //! benchmark groups with throughput annotations, `Bencher::iter` and
 //! `Bencher::iter_batched` — over a plain wall-clock harness: each
 //! benchmark runs one warm-up iteration plus `sample_size` timed samples
-//! and prints mean time per iteration (and derived throughput). There are
-//! no statistical refinements; swap this shim for the real `criterion`
-//! when the registry is reachable.
+//! and prints the median sample time per iteration (and derived
+//! throughput) — the median rather than the mean because shared hosts
+//! see multi-millisecond scheduler freezes that poison a mean but leave
+//! the majority of samples untouched. There are no further statistical
+//! refinements; swap this shim for the real `criterion` when the
+//! registry is reachable.
 
 use std::time::{Duration, Instant};
 
@@ -101,8 +104,7 @@ impl BenchmarkGroup<'_> {
 /// Passed to the benchmark closure; times the measured routine.
 pub struct Bencher {
     sample_size: usize,
-    total: Duration,
-    iters: u64,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
@@ -112,8 +114,7 @@ impl Bencher {
         for _ in 0..self.sample_size {
             let start = Instant::now();
             std::hint::black_box(routine());
-            self.total += start.elapsed();
-            self.iters += 1;
+            self.samples.push(start.elapsed());
         }
     }
 
@@ -128,8 +129,7 @@ impl Bencher {
             let input = setup();
             let start = Instant::now();
             std::hint::black_box(routine(input));
-            self.total += start.elapsed();
-            self.iters += 1;
+            self.samples.push(start.elapsed());
         }
     }
 }
@@ -140,23 +140,24 @@ fn run_one(
     throughput: Option<Throughput>,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
-    let mut b = Bencher { sample_size, total: Duration::ZERO, iters: 0 };
+    let mut b = Bencher { sample_size, samples: Vec::new() };
     f(&mut b);
-    if b.iters == 0 {
+    if b.samples.is_empty() {
         println!("bench {id:<44} (no measurements)");
         return;
     }
-    let mean = b.total / b.iters as u32;
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
     let rate = match throughput {
-        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
-            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            format!("  {:>12.0} elem/s", n as f64 / median.as_secs_f64())
         }
-        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
-            format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            format!("  {:>12.0} B/s", n as f64 / median.as_secs_f64())
         }
         _ => String::new(),
     };
-    println!("bench {id:<44} mean {mean:>12.3?}{rate}");
+    println!("bench {id:<44} median {median:>12.3?}{rate}");
 }
 
 /// Declares a group of benchmark functions.
