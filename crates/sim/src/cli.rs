@@ -12,6 +12,13 @@
 //! The store is always opened at the current [`SCHEMA_VERSION`]
 //! (`crate::codec`), so entries written by older schemas are invisible
 //! rather than wrong.
+//!
+//! With a store attached, runs also use its **warm-artifact tier** —
+//! persisted path-memo tables that let executors replay from record zero
+//! even in a cold process — unless `--no-warm-artifacts` (or the
+//! [`NO_WARM_ARTIFACTS_ENV`](crate::engine::NO_WARM_ARTIFACTS_ENV)
+//! environment variable) turns it off. Artifacts never change results,
+//! only wall-clock time.
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -83,11 +90,24 @@ pub fn store_dir_from_args(args: &[String]) -> Option<PathBuf> {
     flag_value(args, "--store-dir", "a path", Some(STORE_ENV)).map(PathBuf::from)
 }
 
+/// Whether the command line leaves the store's warm-artifact tier on:
+/// `--no-warm-artifacts` turns it off, everything else defers to the
+/// engine's environment-resolved default.
+pub fn warm_artifacts_from_args(args: &[String]) -> bool {
+    !args.iter().any(|a| a == "--no-warm-artifacts")
+}
+
 /// Attaches the persistent store requested by `args` (if any) to an
-/// engine. Exits with status 2 if an explicitly requested store cannot
-/// be opened — silently dropping persistence the caller asked for would
-/// waste every simulation in the run.
+/// engine, honouring `--no-warm-artifacts`. Exits with status 2 if an
+/// explicitly requested store cannot be opened — silently dropping
+/// persistence the caller asked for would waste every simulation in the
+/// run.
 pub fn attach_store(engine: SimEngine, args: &[String]) -> SimEngine {
+    let engine = if warm_artifacts_from_args(args) {
+        engine
+    } else {
+        engine.with_warm_artifacts(false)
+    };
     match store_dir_from_args(args) {
         Some(dir) => match ResultStore::open(&dir, SCHEMA_VERSION) {
             Ok(store) => engine.with_store(store),
@@ -133,6 +153,18 @@ pub fn run_store_gc(engine: &SimEngine, args: &[String]) {
             gc.evicted_entries, gc.evicted_bytes, cap
         );
     }
+}
+
+/// The store tail of every run: write newly recorded path-memo tables
+/// back to the warm-artifact tier, then apply the requested GC cap (the
+/// order matters — fresh artifacts must be on disk before the cap
+/// decides what to shed). A no-op without a store.
+pub fn finish_store(engine: &SimEngine, args: &[String]) {
+    let written = engine.persist_warm_artifacts();
+    if written > 0 {
+        eprintln!("warm artifacts: wrote {written} memo table(s) to the store");
+    }
+    run_store_gc(engine, args);
 }
 
 /// The flags shared by the multi-report binaries (`all_experiments`,
@@ -203,7 +235,7 @@ pub fn run_figure(figure: fn(&SimEngine, &ExperimentConfig) -> Report) {
     }
     let engine = attach_store(engine, &args);
     println!("{}", flags.render(&figure(&engine, &cfg)));
-    run_store_gc(&engine, &args);
+    finish_store(&engine, &args);
     eprintln!("{}", cache_summary(&engine));
 }
 
@@ -272,7 +304,7 @@ pub fn finish_batch(
         (run.stats.executed, run.stats.disk_hits),
         "formatting must be pure cache hits"
     );
-    run_store_gc(engine, args);
+    finish_store(engine, args);
     eprintln!("{}", cache_summary(engine));
     rendered
 }
@@ -336,25 +368,41 @@ pub fn compare_serial(
 }
 
 /// One-line cache accounting for a finished run, printed to stderr by
-/// every binary so report output on stdout stays byte-comparable.
+/// every binary so report output on stdout stays byte-comparable. The
+/// trailing memo section is the warm-path audit trail: a fully
+/// artifact-warm run shows replay hits with `0 recorded` (CI asserts
+/// exactly that).
 pub fn cache_summary(engine: &SimEngine) -> String {
     let stats = engine.stats();
     let store = match engine.store() {
         Some(s) => {
             let usage = s.usage();
             format!(
-                "store {} (schema v{}, {} entries, {} bytes)",
+                "store {} (schema v{}, {} entries, {} bytes, {} artifacts, {} artifact bytes)",
                 s.root().display(),
                 s.schema(),
                 usage.entries,
-                usage.bytes
+                usage.bytes,
+                usage.artifacts,
+                usage.artifact_bytes
             )
         }
         None => "store disabled".to_string(),
     };
+    let memo = engine.memo_stats();
     format!(
-        "cache: {} requests = {} executed + {} memory hits + {} disk hits; {}",
-        stats.requests, stats.executed, stats.hits, stats.disk_hits, store
+        "cache: {} requests = {} executed + {} memory hits + {} disk hits; {}; \
+         memo: {} replay hits, {} recorded, {} live, {} tables ({} steps)",
+        stats.requests,
+        stats.executed,
+        stats.hits,
+        stats.disk_hits,
+        store,
+        memo.replayed,
+        memo.recorded,
+        memo.live,
+        memo.tables,
+        memo.steps
     )
 }
 
@@ -425,6 +473,43 @@ mod tests {
         if std::env::var_os(STORE_CAP_ENV).is_none() {
             assert_eq!(store_cap_from_args(&args(&["--quick"])), None);
         }
+    }
+
+    #[test]
+    fn warm_artifact_flag_parses() {
+        assert!(warm_artifacts_from_args(&args(&["--quick"])));
+        assert!(!warm_artifacts_from_args(&args(&[
+            "--quick",
+            "--no-warm-artifacts"
+        ])));
+    }
+
+    #[test]
+    fn cache_summary_carries_the_memo_audit_trail() {
+        let program = std::sync::Arc::new(
+            confluence_trace::Program::generate(&confluence_trace::WorkloadSpec::tiny()).unwrap(),
+        );
+        let engine = SimEngine::new(vec![(confluence_trace::Workload::WebFrontend, program)]);
+        let summary = cache_summary(&engine);
+        assert!(
+            summary.contains("memo: 0 replay hits, 0 recorded, 0 live, 0 tables (0 steps)"),
+            "untranslated engine reports an empty memo section: {summary}"
+        );
+        engine.coverage(&crate::job::CoverageJob {
+            workload: confluence_trace::Workload::WebFrontend,
+            btb: crate::job::BtbSpec::Perfect,
+            opts: crate::coverage::CoverageOptions {
+                warmup_instrs: 5_000,
+                measure_instrs: 5_000,
+                ..Default::default()
+            },
+        });
+        let memo = engine.memo_stats();
+        assert!(memo.recorded > 0, "a cold run records paths");
+        assert!(
+            cache_summary(&engine).contains(&format!("{} recorded", memo.recorded)),
+            "summary must carry the memo counters"
+        );
     }
 
     #[test]

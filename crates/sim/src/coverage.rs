@@ -5,6 +5,12 @@
 //! *contents* exactly — what is resident when — without cycle timing.
 //! BTB misses follow the paper's definition: an entry for a taken branch is
 //! absent at prediction time (Section 2.1).
+//!
+//! The record streams consumed here come from [`Program::stream`], so
+//! when the engine has pre-loaded a warm-execution artifact (a persisted
+//! path-memo table), every run starts in replay mode from record zero —
+//! the streams, and therefore every counter, are bit-identical either
+//! way; warmth only changes how fast the records are produced.
 
 use confluence_btb::{BtbDesign, ResolvedBranch};
 use confluence_prefetch::{ShiftEngine, ShiftHistory};

@@ -31,17 +31,29 @@
 //! thread claimed it, whether that thread loads from disk or simulates.
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use confluence_store::ResultStore;
-use confluence_trace::{ExecMode, Program, Workload};
+use confluence_trace::{ExecMode, MemoStats, MemoTable, Program, Workload};
 
 use crate::cmp::{simulate_cmp_with_shards_mode, TimingResult};
-use crate::codec::{output_matches, StoreKey};
+use crate::codec::{output_matches, ArtifactKey, StoreKey};
 use crate::coverage::{branch_density_mode, run_coverage_with_mode, CoverageResult};
 use crate::job::{CoverageJob, DensityJob, Job, JobOutput, TimingJob};
+
+/// Environment variable that disables the persistent warm-artifact tier
+/// when set to a non-empty value other than `0` (the
+/// `--no-warm-artifacts` CLI flag sets the same thing explicitly).
+/// Results never depend on it — artifacts only replay paths the executor
+/// would re-derive bit-identically.
+pub const NO_WARM_ARTIFACTS_ENV: &str = "CONFLUENCE_NO_WARM_ARTIFACTS";
+
+/// Resolves the warm-artifact default from [`NO_WARM_ARTIFACTS_ENV`].
+fn warm_artifacts_from_env() -> bool {
+    !matches!(std::env::var_os(NO_WARM_ARTIFACTS_ENV), Some(v) if !v.is_empty() && v != *"0")
+}
 
 /// Snapshot of the engine's cache accounting.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -96,6 +108,15 @@ pub struct SimEngine {
     mode: ExecMode,
     cache: Mutex<HashMap<Job, Arc<Slot>>>,
     store: Option<ResultStore>,
+    /// Whether the store's warm-artifact tier is consulted/written. With
+    /// it on, the first job to *execute* against a workload first imports
+    /// that workload's persisted path-memo table (so even a cold process
+    /// replays from record zero), and [`SimEngine::persist_warm_artifacts`]
+    /// writes back whatever the run newly recorded.
+    warm_artifacts: bool,
+    /// Workloads whose artifact load already happened (hit or miss) —
+    /// the import is idempotent but the disk read is worth doing once.
+    warm_loaded: Mutex<HashSet<Workload>>,
     requests: AtomicU64,
     executed: AtomicU64,
     hits: AtomicU64,
@@ -124,6 +145,8 @@ impl SimEngine {
             mode: ExecMode::from_env(),
             cache: Mutex::new(HashMap::new()),
             store: None,
+            warm_artifacts: warm_artifacts_from_env(),
+            warm_loaded: Mutex::new(HashSet::new()),
             requests: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -164,6 +187,21 @@ impl SimEngine {
     /// The attached persistent store, if any.
     pub fn store(&self) -> Option<&ResultStore> {
         self.store.as_ref()
+    }
+
+    /// Overrides whether the store's warm-artifact tier is used (the
+    /// default is resolved from [`NO_WARM_ARTIFACTS_ENV`]). Like the exec
+    /// mode, this only moves wall-clock time: artifacts replay paths the
+    /// executors would otherwise re-record, bit for bit.
+    pub fn with_warm_artifacts(mut self, on: bool) -> Self {
+        self.warm_artifacts = on;
+        self
+    }
+
+    /// Whether the warm-artifact tier is enabled (it still needs an
+    /// attached store to do anything).
+    pub fn warm_artifacts(&self) -> bool {
+        self.warm_artifacts
     }
 
     /// The worker-pool width.
@@ -374,7 +412,77 @@ impl SimEngine {
         }
     }
 
+    /// Pre-loads `workload`'s persisted path-memo table before its first
+    /// execution in this process, so the executors the job spins up start
+    /// in replay mode from record zero. Runs at most one disk read per
+    /// workload; a missing, corrupt, or mismatched artifact is simply a
+    /// miss (the run re-records and [`SimEngine::persist_warm_artifacts`]
+    /// repairs the file).
+    fn ensure_warm_artifacts(&self, workload: Workload) {
+        if !self.warm_artifacts {
+            return;
+        }
+        let Some(store) = &self.store else { return };
+        let mut loaded = self.warm_loaded.lock().expect("warm-loaded poisoned");
+        if !loaded.insert(workload) {
+            return;
+        }
+        let program = self.program(workload);
+        if let Some(table) = store.load_artifact::<MemoTable>(&ArtifactKey {
+            spec: program.spec(),
+        }) {
+            program.compiled().import_memo(&table);
+        }
+    }
+
+    /// Writes each workload's newly recorded paths back to the store's
+    /// artifact tier; returns how many artifact files were written. A
+    /// no-op without a store or with the tier disabled, and — because
+    /// imports mark the bank clean — a fully warm run writes nothing,
+    /// leaving artifact mtimes (and thus GC order) undisturbed.
+    /// Workloads the run never translated are skipped, not compiled.
+    pub fn persist_warm_artifacts(&self) -> usize {
+        if !self.warm_artifacts {
+            return 0;
+        }
+        let Some(store) = &self.store else { return 0 };
+        let mut written = 0;
+        for (_, program) in &self.workloads {
+            let Some(compiled) = program.compiled_if_translated() else {
+                continue;
+            };
+            let Some(table) = compiled.export_new_memo() else {
+                continue;
+            };
+            let key = ArtifactKey {
+                spec: program.spec(),
+            };
+            if store.save_artifact(&key, &table).is_ok() {
+                written += 1;
+            }
+        }
+        written
+    }
+
+    /// Aggregate path-memo accounting across the workloads this process
+    /// actually translated (untranslated programs have no bank to read).
+    pub fn memo_stats(&self) -> MemoStats {
+        let mut total = MemoStats::default();
+        for (_, program) in &self.workloads {
+            if let Some(compiled) = program.compiled_if_translated() {
+                let s = compiled.memo_stats();
+                total.tables += s.tables;
+                total.steps += s.steps;
+                total.replayed += s.replayed;
+                total.recorded += s.recorded;
+                total.live += s.live;
+            }
+        }
+        total
+    }
+
     fn execute(&self, job: &Job) -> JobOutput {
+        self.ensure_warm_artifacts(job.workload());
         match job {
             Job::Coverage(c) => {
                 let program = self.program(c.workload);
@@ -754,6 +862,107 @@ mod tests {
         let serial = tiny_engine().with_threads(1);
         serial.in_flight.store(1, Ordering::Relaxed);
         assert_eq!(serial.borrow_idle_slots().extra, 0);
+    }
+
+    /// The on-disk warm-artifact file for a tiny engine's workload.
+    fn tiny_artifact_path(engine: &SimEngine) -> std::path::PathBuf {
+        let key = ArtifactKey {
+            spec: engine.program(Workload::WebFrontend).spec(),
+        };
+        engine.store().expect("store attached").artifact_path(&key)
+    }
+
+    #[test]
+    fn warm_artifacts_preload_replays_instead_of_recording() {
+        let dir = StoreDir::new("artifact");
+        let job = tiny_job();
+
+        let cold = tiny_engine()
+            .with_store(dir.open())
+            .with_warm_artifacts(true);
+        let expected = cold.coverage(&job);
+        assert!(cold.memo_stats().recorded > 0, "cold run must record paths");
+        assert_eq!(cold.persist_warm_artifacts(), 1);
+        let art_path = tiny_artifact_path(&cold);
+        assert!(art_path.is_file(), "artifact file must land on disk");
+        // Nothing new recorded since the export: a second persist is a
+        // no-op and must not rewrite the file.
+        let mtime = std::fs::metadata(&art_path).unwrap().modified().unwrap();
+        assert_eq!(cold.persist_warm_artifacts(), 0);
+        assert_eq!(
+            std::fs::metadata(&art_path).unwrap().modified().unwrap(),
+            mtime
+        );
+
+        // Make the fresh engine actually execute (not disk-hit the
+        // result): drop the result tier, keep the artifact tier.
+        std::fs::remove_file(tiny_entry_path(&cold, &job)).unwrap();
+
+        let warm = tiny_engine()
+            .with_store(dir.open())
+            .with_warm_artifacts(true);
+        assert_eq!(
+            warm.coverage(&job),
+            expected,
+            "warm replay is bit-identical"
+        );
+        let stats = warm.memo_stats();
+        assert!(stats.replayed > 0, "warm run must replay from the artifact");
+        assert_eq!(stats.recorded, 0, "a fully warm run records nothing new");
+        assert_eq!(warm.persist_warm_artifacts(), 0, "imported bank is clean");
+    }
+
+    #[test]
+    fn corrupt_artifact_is_a_miss_then_repaired() {
+        let dir = StoreDir::new("artifact-corrupt");
+        let job = tiny_job();
+
+        let cold = tiny_engine()
+            .with_store(dir.open())
+            .with_warm_artifacts(true);
+        let expected = cold.coverage(&job);
+        cold.persist_warm_artifacts();
+        let art_path = tiny_artifact_path(&cold);
+        let clean = std::fs::read(&art_path).unwrap();
+        let mut garbled = clean.clone();
+        let mid = garbled.len() / 2;
+        garbled[mid] ^= 0x04;
+        std::fs::write(&art_path, &garbled).unwrap();
+        std::fs::remove_file(tiny_entry_path(&cold, &job)).unwrap();
+
+        let repaired = tiny_engine()
+            .with_store(dir.open())
+            .with_warm_artifacts(true);
+        assert_eq!(
+            repaired.coverage(&job),
+            expected,
+            "a garbled artifact must never change results"
+        );
+        // In-process memo hits still happen, but the import itself must
+        // have missed: the run re-records (a warm import records nothing).
+        assert!(
+            repaired.memo_stats().recorded > 0,
+            "corrupt artifact must be a miss that re-records"
+        );
+        assert_eq!(repaired.persist_warm_artifacts(), 1);
+        assert_eq!(
+            std::fs::read(&art_path).unwrap(),
+            clean,
+            "re-recording must rebuild the identical canonical artifact"
+        );
+    }
+
+    #[test]
+    fn warm_artifacts_off_touches_no_artifact_files() {
+        let dir = StoreDir::new("artifact-off");
+        let job = tiny_job();
+        let engine = tiny_engine()
+            .with_store(dir.open())
+            .with_warm_artifacts(false);
+        engine.coverage(&job);
+        assert_eq!(engine.persist_warm_artifacts(), 0);
+        assert!(!tiny_artifact_path(&engine).exists());
+        assert_eq!(engine.store().unwrap().usage().artifacts, 0);
     }
 
     #[test]

@@ -60,6 +60,12 @@ const PREFETCH_SLOTS: usize = 32;
 /// (paper Section 2.1: "its miss rate geometrically compounds"); prefetches
 /// issued at queue depth `d` are useful only with probability `acc^d`.
 const FDP_REGION_ACCURACY: f64 = 0.72;
+/// Records pulled from the executor per lookahead refill. Batch stepping
+/// lets the compiled stream emit whole staged chains per pull instead of
+/// paying the mode dispatch and staging checks on every record; the
+/// records are identical to per-record pulls, so the consumption grain
+/// is invisible to the model.
+const LOOKAHEAD_BLOCK: u64 = 64;
 
 /// Measured-phase counters for one core.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -194,7 +200,7 @@ impl<'p> CoreFrontend<'p> {
             core,
             backend_stall_prob: spec.backend_stall_prob,
             rng: DetRng::seed_from(seed ^ 0xBACC ^ id as u64),
-            lookahead: VecDeque::with_capacity(64),
+            lookahead: VecDeque::with_capacity(LOOKAHEAD_BLOCK as usize),
             fetch_queue: VecDeque::with_capacity(core.fetch_queue_regions),
             instr_buffer: 0,
             bpu_ready_at: 0,
@@ -629,7 +635,11 @@ impl<'p> CoreFrontend<'p> {
         if let Some(r) = self.lookahead.pop_front() {
             return r;
         }
-        self.stream.next_record().expect("executor never ends")
+        let CoreFrontend {
+            stream, lookahead, ..
+        } = self;
+        stream.for_each_record(LOOKAHEAD_BLOCK, |r| lookahead.push_back(r));
+        self.lookahead.pop_front().expect("executor never ends")
     }
 }
 

@@ -35,6 +35,13 @@ const MAGIC: [u8; 4] = *b"CFRS";
 const CONTAINER_VERSION: u8 = 1;
 /// magic + container version + schema + trailing checksum.
 const MIN_ENTRY_LEN: usize = 4 + 1 + 4 + 8;
+/// File extension of the result tier.
+const RESULT_EXT: &str = "bin";
+/// File extension of the warm-artifact tier (persisted execution warmth —
+/// e.g. converged path-memo tables — as opposed to job results). Same
+/// container, same verification, same atomicity; a separate extension so
+/// the two tiers are accounted for distinctly while GC sweeps both.
+const ARTIFACT_EXT: &str = "art";
 
 /// A persistent, content-addressed map from encoded keys to encoded
 /// values, safe for concurrent use from multiple threads and processes.
@@ -75,12 +82,18 @@ impl ResultStore {
 
     /// The file an entry for `key` lives at (whether or not it exists).
     pub fn entry_path(&self, key: &impl Encode) -> PathBuf {
-        self.path_for(&key.to_bytes())
+        self.path_for(&key.to_bytes(), RESULT_EXT)
     }
 
-    fn path_for(&self, key_bytes: &[u8]) -> PathBuf {
+    /// The file a warm artifact for `key` lives at (whether or not it
+    /// exists).
+    pub fn artifact_path(&self, key: &impl Encode) -> PathBuf {
+        self.path_for(&key.to_bytes(), ARTIFACT_EXT)
+    }
+
+    fn path_for(&self, key_bytes: &[u8], ext: &str) -> PathBuf {
         self.root
-            .join(format!("{:016x}.bin", wire::fnv1a(key_bytes)))
+            .join(format!("{:016x}.{ext}", wire::fnv1a(key_bytes)))
     }
 
     /// Looks up `key`, returning its decoded value. Any failure — missing
@@ -88,8 +101,18 @@ impl ResultStore {
     /// error — is a miss (`None`): a corrupt entry must never be trusted,
     /// and the caller's re-computation will overwrite it.
     pub fn load<V: Decode>(&self, key: &impl Encode) -> Option<V> {
+        self.load_at(key, RESULT_EXT)
+    }
+
+    /// Looks up `key` in the warm-artifact tier, with exactly the
+    /// verification (and miss semantics) of [`ResultStore::load`].
+    pub fn load_artifact<V: Decode>(&self, key: &impl Encode) -> Option<V> {
+        self.load_at(key, ARTIFACT_EXT)
+    }
+
+    fn load_at<V: Decode>(&self, key: &impl Encode, ext: &str) -> Option<V> {
         let key_bytes = key.to_bytes();
-        let data = fs::read(self.path_for(&key_bytes)).ok()?;
+        let data = fs::read(self.path_for(&key_bytes, ext)).ok()?;
         parse_entry(&data, self.schema, &key_bytes)
     }
 
@@ -101,6 +124,20 @@ impl ResultStore {
     /// Errors if the temporary file cannot be written or renamed into
     /// place. The previous entry, if any, is untouched on error.
     pub fn save(&self, key: &impl Encode, value: &impl Encode) -> io::Result<()> {
+        self.save_at(key, value, RESULT_EXT)
+    }
+
+    /// Writes `key -> value` into the warm-artifact tier, with exactly
+    /// the framing and atomicity of [`ResultStore::save`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ResultStore::save`].
+    pub fn save_artifact(&self, key: &impl Encode, value: &impl Encode) -> io::Result<()> {
+        self.save_at(key, value, ARTIFACT_EXT)
+    }
+
+    fn save_at(&self, key: &impl Encode, value: &impl Encode, ext: &str) -> io::Result<()> {
         let key_bytes = key.to_bytes();
         let mut body = Vec::new();
         body.extend_from_slice(&MAGIC);
@@ -111,7 +148,7 @@ impl ResultStore {
         let checksum = wire::fnv1a(&body);
         wire::put_u64_le(&mut body, checksum);
 
-        let final_path = self.path_for(&key_bytes);
+        let final_path = self.path_for(&key_bytes, ext);
         let tmp_path = final_path.with_extension(format!(
             "tmp.{}.{}",
             std::process::id(),
@@ -126,45 +163,57 @@ impl ResultStore {
             })
     }
 
-    /// Entry count and total bytes on disk for this schema version, in
-    /// one directory pass (the first slice of store GC: knowing what a
-    /// wipe would reclaim). Counts only committed `.bin` entries, never
-    /// in-flight `.tmp` files, so concurrent writers don't perturb the
-    /// figures.
+    /// Per-tier entry counts and bytes on disk for this schema version,
+    /// in one directory pass (the first slice of store GC: knowing what a
+    /// wipe would reclaim). Counts only committed `.bin` result entries
+    /// and `.art` warm artifacts, never in-flight `.tmp` files, so
+    /// concurrent writers don't perturb the figures.
     pub fn usage(&self) -> StoreUsage {
         let Ok(dir) = fs::read_dir(&self.root) else {
             return StoreUsage::default();
         };
         let mut usage = StoreUsage::default();
-        for e in dir
-            .filter_map(|e| e.ok())
-            .filter(|e| e.path().extension().is_some_and(|x| x == "bin"))
-        {
-            usage.entries += 1;
-            usage.bytes += e.metadata().map(|m| m.len()).unwrap_or(0);
+        for e in dir.filter_map(|e| e.ok()) {
+            let path = e.path();
+            let Some(ext) = path.extension() else {
+                continue;
+            };
+            let len = e.metadata().map(|m| m.len()).unwrap_or(0);
+            if ext == RESULT_EXT {
+                usage.entries += 1;
+                usage.bytes += len;
+            } else if ext == ARTIFACT_EXT {
+                usage.artifacts += 1;
+                usage.artifact_bytes += len;
+            }
         }
         usage
     }
 
-    /// Number of entries currently on disk for this schema version.
+    /// Number of result entries currently on disk for this schema version.
     pub fn len(&self) -> usize {
         self.usage().entries
     }
 
-    /// True when no entries exist for this schema version.
+    /// True when no result entries exist for this schema version.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Total bytes of entry files on disk for this schema version.
+    /// Total bytes on disk for this schema version, across both tiers —
+    /// the figure [`ResultStore::evict_to_cap`] caps.
     pub fn size_bytes(&self) -> u64 {
-        self.usage().bytes
+        let usage = self.usage();
+        usage.bytes + usage.artifact_bytes
     }
 
     /// Garbage-collects the store down to `cap_bytes`, deleting
-    /// oldest-modified entries first (save refreshes an entry's mtime, so
+    /// oldest-modified files first (save refreshes an entry's mtime, so
     /// "oldest" means least-recently *written*, the store's best proxy
-    /// for cold). Ties break on file name for cross-run determinism.
+    /// for cold). Both tiers — result entries and warm artifacts — count
+    /// against the cap and age out of one interleaved oldest-first order,
+    /// so `--store-cap-bytes` is a true bound on what the store occupies.
+    /// Ties break on file name for cross-run determinism.
     ///
     /// Best-effort like every other maintenance path: an entry that
     /// cannot be statted or removed (swept by a concurrent GC, perms) is
@@ -178,7 +227,11 @@ impl ResultStore {
         };
         let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = dir
             .filter_map(|e| e.ok())
-            .filter(|e| e.path().extension().is_some_and(|x| x == "bin"))
+            .filter(|e| {
+                e.path()
+                    .extension()
+                    .is_some_and(|x| x == RESULT_EXT || x == ARTIFACT_EXT)
+            })
             .filter_map(|e| {
                 let meta = e.metadata().ok()?;
                 Some((meta.modified().ok()?, e.path(), meta.len()))
@@ -211,13 +264,17 @@ pub struct GcStats {
     pub evicted_bytes: u64,
 }
 
-/// On-disk accounting of one schema version's entries.
+/// On-disk accounting of one schema version, split by tier.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreUsage {
-    /// Committed entry files.
+    /// Committed result entry files.
     pub entries: usize,
     /// Their total size in bytes.
     pub bytes: u64,
+    /// Committed warm-artifact files.
+    pub artifacts: usize,
+    /// Their total size in bytes.
+    pub artifact_bytes: u64,
 }
 
 /// Verifies and decodes one entry buffer; `None` on any defect.
@@ -312,10 +369,84 @@ mod tests {
             store.usage(),
             StoreUsage {
                 entries: 2,
-                bytes: expected
+                bytes: expected,
+                artifacts: 0,
+                artifact_bytes: 0,
             },
             "usage must report both figures from one pass"
         );
+    }
+
+    #[test]
+    fn artifact_tier_roundtrips_and_is_accounted_separately() {
+        let dir = TestDir::new();
+        let store = ResultStore::open(&dir.0, 1).unwrap();
+        store.save(&7u64, &vec![1u64, 2]).unwrap();
+        store.save_artifact(&7u64, &vec![9u64, 8, 7]).unwrap();
+        // Same key, two tiers, two files — neither shadows the other.
+        assert_eq!(store.load::<Vec<u64>>(&7u64), Some(vec![1, 2]));
+        assert_eq!(store.load_artifact::<Vec<u64>>(&7u64), Some(vec![9, 8, 7]));
+        assert_ne!(store.entry_path(&7u64), store.artifact_path(&7u64));
+        let usage = store.usage();
+        assert_eq!((usage.entries, usage.artifacts), (1, 1));
+        assert!(usage.artifact_bytes > 0);
+        assert_eq!(store.size_bytes(), usage.bytes + usage.artifact_bytes);
+        // `len`/`is_empty` speak about results only.
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_artifact_is_a_miss_and_a_save_repairs_it() {
+        let dir = TestDir::new();
+        let store = ResultStore::open(&dir.0, 1).unwrap();
+        store.save_artifact(&3u64, &0xFEEDu64).unwrap();
+        let path = store.artifact_path(&3u64);
+        let clean = fs::read(&path).unwrap();
+        // Truncations and bit flips both demote to a miss.
+        fs::write(&path, &clean[..clean.len() / 2]).unwrap();
+        assert_eq!(store.load_artifact::<u64>(&3u64), None);
+        let mut garbled = clean.clone();
+        garbled[clean.len() / 2] ^= 0x40;
+        fs::write(&path, &garbled).unwrap();
+        assert_eq!(store.load_artifact::<u64>(&3u64), None);
+        store.save_artifact(&3u64, &0xFEEDu64).unwrap();
+        assert_eq!(store.load_artifact::<u64>(&3u64), Some(0xFEED));
+        assert_eq!(fs::read(&path).unwrap(), clean);
+    }
+
+    #[test]
+    fn gc_cap_spans_both_tiers_oldest_first() {
+        let dir = TestDir::new();
+        let store = ResultStore::open(&dir.0, 1).unwrap();
+        // Interleave the tiers oldest→newest: result 0, artifact 1,
+        // result 2, artifact 3 (distinct mtimes as in the result-only GC
+        // test).
+        for k in 0..4u64 {
+            if k % 2 == 0 {
+                store.save(&k, &vec![k; 8]).unwrap();
+            } else {
+                store.save_artifact(&k, &vec![k; 8]).unwrap();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(15));
+        }
+        let total = store.size_bytes();
+        let entry_len = fs::metadata(store.entry_path(&0u64)).unwrap().len();
+        // Room for everything but the two oldest files (one per tier).
+        let cap = total - 2 * entry_len + entry_len / 2;
+        let gc = store.evict_to_cap(cap);
+        assert_eq!(gc.evicted_entries, 2, "cap must evict across both tiers");
+        assert!(store.size_bytes() <= cap, "cap must bound both tiers");
+        assert_eq!(store.load::<Vec<u64>>(&0u64), None, "oldest result goes");
+        assert_eq!(
+            store.load_artifact::<Vec<u64>>(&1u64),
+            None,
+            "oldest artifact goes"
+        );
+        assert!(store.load::<Vec<u64>>(&2u64).is_some());
+        assert!(store.load_artifact::<Vec<u64>>(&3u64).is_some());
+        // Cap zero clears artifacts too.
+        store.evict_to_cap(0);
+        assert_eq!(store.usage(), StoreUsage::default());
     }
 
     #[test]

@@ -37,7 +37,10 @@ mod serialize;
 mod spec;
 mod stats;
 
-pub use compile::{CompiledExecutor, CompiledProgram, ExecMode, RecordStream, NO_FASTPATH_ENV};
+pub use compile::{
+    CompiledExecutor, CompiledProgram, ExecMode, MemoCaps, MemoStats, MemoTable, RecordStream,
+    MEMO_CAP_ENV, NO_FASTPATH_ENV,
+};
 pub use exec::Executor;
 pub use program::{Program, ProgramStats};
 pub use serialize::{decode_records, encode_records, DecodeTraceError};
