@@ -1,0 +1,165 @@
+//! The blocking client: handshake once, submit batches, collect
+//! streamed results back into submission order.
+
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::protocol::{self, BatchStats, ErrorCode, Frame, RecvError, PROTO_VERSION};
+
+/// Why a client operation failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read, or write).
+    Io(io::Error),
+    /// The daemon refused or aborted with a typed error frame.
+    Daemon {
+        /// Machine-readable failure class from the daemon.
+        code: ErrorCode,
+        /// Human-readable detail from the daemon.
+        message: String,
+    },
+    /// The daemon violated the protocol (wrong frame, bad index,
+    /// corrupt envelope) — client and daemon disagree about the wire.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "daemon transport failed: {e}"),
+            ClientError::Daemon { code, message } => {
+                write!(f, "daemon refused ({code:?}): {message}")
+            }
+            ClientError::Protocol(what) => write!(f, "daemon protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<RecvError> for ClientError {
+    fn from(e: RecvError) -> Self {
+        match e {
+            RecvError::Closed => ClientError::Protocol("daemon closed mid-exchange".to_string()),
+            RecvError::Io(e) => ClientError::Io(e),
+            e @ (RecvError::Envelope(_) | RecvError::Malformed(_)) => {
+                ClientError::Protocol(e.to_string())
+            }
+        }
+    }
+}
+
+/// One batch's results: every output in submission order, plus the
+/// daemon's cache accounting for the batch.
+#[derive(Debug)]
+pub struct BatchReply {
+    /// Encoded job outputs, index-aligned with the submitted jobs.
+    pub outputs: Vec<Vec<u8>>,
+    /// The daemon-side batch accounting from `BatchDone`.
+    pub stats: BatchStats,
+}
+
+/// A connected, handshaken session with the daemon.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to the daemon socket at `path` and performs the
+    /// handshake, declaring this client's job `schema` version and
+    /// workload-config `fingerprint`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Daemon`] carries the daemon's typed refusal
+    /// (protocol/schema/config mismatch); transport and protocol
+    /// violations as their variants describe.
+    pub fn connect(
+        path: impl AsRef<Path>,
+        schema: u32,
+        fingerprint: u64,
+    ) -> Result<Self, ClientError> {
+        let mut stream = UnixStream::connect(path)?;
+        let hello = Frame::Hello {
+            proto: PROTO_VERSION,
+            schema,
+            fingerprint,
+        };
+        protocol::send(&mut stream, &hello)?;
+        match protocol::recv(&mut stream)? {
+            Frame::HelloAck { .. } => Ok(Client { stream }),
+            Frame::Error { code, message } => Err(ClientError::Daemon { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected HelloAck, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Submits one batch of encoded jobs and blocks until every result
+    /// and the final `BatchDone` arrive. Results stream back in the
+    /// daemon's completion order and are reassembled into submission
+    /// order here.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Daemon`] if the daemon aborts the batch with a
+    /// typed error (e.g. a malformed or failed job); transport and
+    /// protocol violations as their variants describe.
+    pub fn submit(&mut self, batch_id: u64, jobs: Vec<Vec<u8>>) -> Result<BatchReply, ClientError> {
+        let count = jobs.len();
+        let frame = Frame::SubmitBatch { batch_id, jobs };
+        protocol::send(&mut self.stream, &frame)?;
+
+        let mut outputs: Vec<Option<Vec<u8>>> = vec![None; count];
+        let mut filled = 0usize;
+        loop {
+            match protocol::recv(&mut self.stream)? {
+                Frame::JobResult { job_idx, output } => {
+                    let slot = outputs.get_mut(job_idx as usize).ok_or_else(|| {
+                        ClientError::Protocol(format!(
+                            "result index {job_idx} out of range for batch of {count}"
+                        ))
+                    })?;
+                    if slot.replace(output).is_some() {
+                        return Err(ClientError::Protocol(format!(
+                            "duplicate result for job {job_idx}"
+                        )));
+                    }
+                    filled += 1;
+                }
+                Frame::BatchDone {
+                    batch_id: done_id,
+                    stats,
+                } => {
+                    if done_id != batch_id {
+                        return Err(ClientError::Protocol(format!(
+                            "BatchDone for batch {done_id}, expected {batch_id}"
+                        )));
+                    }
+                    if filled != count {
+                        return Err(ClientError::Protocol(format!(
+                            "BatchDone after {filled} of {count} results"
+                        )));
+                    }
+                    let outputs = outputs.into_iter().flatten().collect();
+                    return Ok(BatchReply { outputs, stats });
+                }
+                Frame::Error { code, message } => {
+                    return Err(ClientError::Daemon { code, message });
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected frame mid-batch: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! The accept loop and per-connection protocol driver.
+//!
+//! The server owns nothing about simulation: it is generic over a
+//! [`BatchHost`], the engine-owning side of the daemon. For every
+//! connection it runs the handshake, then answers `SubmitBatch` frames
+//! by fanning the batch's jobs out over `host.threads()` worker threads
+//! (most-expensive-first by `host.cost_hint`, matching the engine's own
+//! scheduler) and streaming each `JobResult` frame back the moment the
+//! job completes. Exactly-once semantics across concurrent clients are
+//! the host's business — the engine's content-keyed in-flight dedup —
+//! so two clients submitting the same job each get a result frame while
+//! the simulation runs once.
+//!
+//! Failure isolation is per connection: a malformed frame or rejected
+//! job earns a typed [`Frame::Error`] and a clean close; a client that
+//! disconnects mid-batch aborts its remaining job *claims* (work other
+//! clients are waiting on still completes inside the host) and its
+//! thread exits. Nothing a client does can poison the shared engine.
+
+use std::io::{self, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crate::protocol::{self, BatchStats, ErrorCode, Frame, RecvError, PROTO_VERSION};
+
+/// How often the accept loop checks its stop flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// A typed refusal from the host: handshake validation or a job that
+/// could not be decoded/executed. Sent to the client verbatim as a
+/// [`Frame::Error`].
+#[derive(Clone, Debug)]
+pub struct Rejection {
+    /// Machine-readable failure class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl Rejection {
+    /// Convenience constructor.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Rejection {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// The engine-owning side of the daemon, as the server sees it.
+///
+/// Implementations decode the opaque job payloads with their own schema
+/// (the `Hello` handshake guarantees both sides agree on it) and are
+/// responsible for exactly-once execution under concurrency — the
+/// server will call [`BatchHost::run_job`] for the same payload from
+/// several connections at once and expects the host to dedup in flight.
+pub trait BatchHost: Send + Sync + 'static {
+    /// Opaque pre-batch accounting snapshot; diffed by
+    /// [`BatchHost::finish_batch`] to produce per-batch deltas.
+    type Snapshot: Send;
+
+    /// The host's job schema version, echoed in `HelloAck`.
+    fn schema(&self) -> u32;
+
+    /// Accepts or rejects a client handshake. `schema` and
+    /// `fingerprint` are the client's job schema version and
+    /// workload-config fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// A [`Rejection`] is sent to the client as a typed error frame and
+    /// the connection is closed.
+    fn validate_hello(&self, schema: u32, fingerprint: u64) -> Result<(), Rejection>;
+
+    /// Worker threads to fan one batch out over.
+    fn threads(&self) -> usize;
+
+    /// Relative cost of one encoded job, for most-expensive-first
+    /// ordering. Payloads that fail to decode may return anything;
+    /// [`BatchHost::run_job`] will reject them properly.
+    fn cost_hint(&self, job: &[u8]) -> u64;
+
+    /// Executes one encoded job and returns its encoded output.
+    ///
+    /// # Errors
+    ///
+    /// A [`Rejection`] aborts the batch: the client gets a typed error
+    /// frame instead of a `BatchDone`.
+    fn run_job(&self, job: &[u8]) -> Result<Vec<u8>, Rejection>;
+
+    /// Captures accounting state before a batch begins.
+    fn snapshot(&self) -> Self::Snapshot;
+
+    /// Settles a batch: computes delta stats against `before`, and
+    /// performs any end-of-batch maintenance (artifact persistence,
+    /// store GC).
+    fn finish_batch(&self, before: Self::Snapshot) -> BatchStats;
+}
+
+/// A bound but not yet running server.
+pub struct Server<H: BatchHost> {
+    listener: UnixListener,
+    host: Arc<H>,
+    path: PathBuf,
+}
+
+impl<H: BatchHost> Server<H> {
+    /// Binds a Unix-domain socket at `path`, replacing any stale socket
+    /// file left by a previous run.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the socket cannot be bound.
+    pub fn bind(path: impl AsRef<Path>, host: Arc<H>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        // A crashed daemon leaves its socket file behind; binding over
+        // it needs the stale file gone. Losing a race here means the
+        // path is genuinely in use and bind reports AddrInUse.
+        match std::fs::remove_file(&path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let listener = UnixListener::bind(&path)?;
+        Ok(Server {
+            listener,
+            host,
+            path,
+        })
+    }
+
+    /// The socket path this server is bound to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Runs the accept loop on the calling thread until the process is
+    /// killed. The daemon binary's main loop.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the listener fails fatally.
+    pub fn run(self) -> io::Result<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        serve_loop(self.listener, self.host, &stop, &conns)
+    }
+
+    /// Starts the accept loop on a background thread and returns a
+    /// handle that can stop it. The in-process form used by tests.
+    pub fn spawn(self) -> ServerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            thread::spawn(move || serve_loop(self.listener, self.host, &stop, &conns))
+        };
+        ServerHandle {
+            stop,
+            thread: Some(thread),
+            conns,
+            path: self.path,
+        }
+    }
+}
+
+/// Handle to a spawned server; stopping joins the accept loop and every
+/// live connection thread, then removes the socket file.
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<io::Result<()>>>,
+    conns: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    path: PathBuf,
+}
+
+impl ServerHandle {
+    /// The socket path the server was bound to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stops accepting, waits for in-flight connections to finish, and
+    /// removes the socket file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the accept loop's fatal error, if it had one.
+    pub fn stop(mut self) -> io::Result<()> {
+        self.stop.store(true, Ordering::SeqCst);
+        let result = match self.thread.take() {
+            Some(t) => t.join().unwrap_or(Ok(())),
+            None => Ok(()),
+        };
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        for conn in conns {
+            let _ = conn.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+        result
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn serve_loop<H: BatchHost>(
+    listener: UnixListener,
+    host: Arc<H>,
+    stop: &AtomicBool,
+    conns: &Mutex<Vec<thread::JoinHandle<()>>>,
+) -> io::Result<()> {
+    // Nonblocking accept so the loop can notice its stop flag; each
+    // accepted stream goes back to blocking for its connection thread.
+    listener.set_nonblocking(true)?;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                let host = Arc::clone(&host);
+                let handle = thread::spawn(move || handle_connection(stream, &*host));
+                conns.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Sends a typed error frame, ignoring transport failure (the client
+/// may already be gone), then lets the connection close.
+fn refuse(stream: &mut UnixStream, code: ErrorCode, message: String) {
+    let _ = protocol::send(stream, &Frame::Error { code, message });
+    let _ = stream.flush();
+}
+
+fn handle_connection<H: BatchHost>(mut stream: UnixStream, host: &H) {
+    // Handshake first: anything other than a well-formed, compatible
+    // Hello gets a typed refusal and a close.
+    match protocol::recv(&mut stream) {
+        Ok(Frame::Hello {
+            proto,
+            schema,
+            fingerprint,
+        }) => {
+            if proto != PROTO_VERSION {
+                return refuse(
+                    &mut stream,
+                    ErrorCode::ProtoMismatch,
+                    format!("daemon speaks frame protocol v{PROTO_VERSION}, client sent v{proto}"),
+                );
+            }
+            if let Err(rej) = host.validate_hello(schema, fingerprint) {
+                return refuse(&mut stream, rej.code, rej.message);
+            }
+            let ack = Frame::HelloAck {
+                proto: PROTO_VERSION,
+                schema: host.schema(),
+            };
+            if protocol::send(&mut stream, &ack).is_err() {
+                return;
+            }
+        }
+        Ok(_) => {
+            return refuse(
+                &mut stream,
+                ErrorCode::MalformedFrame,
+                "expected Hello as first frame".to_string(),
+            );
+        }
+        Err(RecvError::Closed | RecvError::Io(_)) => return,
+        Err(e @ (RecvError::Envelope(_) | RecvError::Malformed(_))) => {
+            return refuse(&mut stream, ErrorCode::MalformedFrame, e.to_string());
+        }
+    }
+
+    loop {
+        match protocol::recv(&mut stream) {
+            Ok(Frame::SubmitBatch { batch_id, jobs }) => {
+                if !serve_batch(&mut stream, host, batch_id, &jobs) {
+                    return;
+                }
+            }
+            Ok(_) => {
+                return refuse(
+                    &mut stream,
+                    ErrorCode::MalformedFrame,
+                    "expected SubmitBatch".to_string(),
+                );
+            }
+            // A dropped client abandons its reads; nothing to clean up
+            // here — the shared engine state lives in the host.
+            Err(RecvError::Closed | RecvError::Io(_)) => return,
+            Err(e @ (RecvError::Envelope(_) | RecvError::Malformed(_))) => {
+                return refuse(&mut stream, ErrorCode::MalformedFrame, e.to_string());
+            }
+        }
+    }
+}
+
+/// Runs one batch and streams its results. Returns `false` if the
+/// connection should close (transport failure or a rejected job).
+fn serve_batch<H: BatchHost>(
+    stream: &mut UnixStream,
+    host: &H,
+    batch_id: u64,
+    jobs: &[Vec<u8>],
+) -> bool {
+    let before = host.snapshot();
+
+    // Most-expensive-first claim order, same policy as the engine's own
+    // scheduler: long poles start immediately instead of queueing
+    // behind cheap jobs. Stable sort keeps submission order among ties.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(host.cost_hint(&jobs[i])));
+
+    let workers = host.threads().clamp(1, jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let rejection: Mutex<Option<Rejection>> = Mutex::new(None);
+    let mut write_failed = false;
+
+    thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(u32, Vec<u8>)>();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (next, abort, rejection, order) = (&next, &abort, &rejection, &order);
+            scope.spawn(move || {
+                loop {
+                    if abort.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let slot = next.fetch_add(1, Ordering::SeqCst);
+                    let Some(&idx) = order.get(slot) else { break };
+                    match host.run_job(&jobs[idx]) {
+                        Ok(output) => {
+                            #[allow(clippy::cast_possible_truncation)]
+                            let job_idx = idx as u32;
+                            if tx.send((job_idx, output)).is_err() {
+                                break;
+                            }
+                        }
+                        Err(rej) => {
+                            // First rejection wins; the batch aborts.
+                            rejection.lock().unwrap().get_or_insert(rej);
+                            abort.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        // The connection thread is the sole frame writer: it drains the
+        // channel and streams each result the moment it lands. Dropping
+        // the spare sender lets the loop end when all workers finish.
+        drop(tx);
+        for (job_idx, output) in rx {
+            if write_failed {
+                continue; // keep draining so the channel empties
+            }
+            let frame = Frame::JobResult { job_idx, output };
+            if protocol::send(stream, &frame).is_err() {
+                // Client went away mid-batch: abandon its remaining
+                // claims. Jobs other clients also requested still
+                // complete inside the host's in-flight dedup.
+                write_failed = true;
+                abort.store(true, Ordering::SeqCst);
+            }
+        }
+    });
+
+    if write_failed {
+        return false;
+    }
+    if let Some(rej) = rejection.lock().unwrap().take() {
+        refuse(stream, rej.code, rej.message);
+        return false;
+    }
+    let done = Frame::BatchDone {
+        batch_id,
+        stats: host.finish_batch(before),
+    };
+    protocol::send(stream, &done).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait must stay object-safe enough for generic use with an
+    /// associated snapshot; this is a compile-time exercise of the
+    /// bounds plus a tiny sanity check of Rejection.
+    #[test]
+    fn rejection_constructor() {
+        let r = Rejection::new(ErrorCode::MalformedJob, "nope");
+        assert_eq!(r.code, ErrorCode::MalformedJob);
+        assert_eq!(r.message, "nope");
+    }
+
+    #[test]
+    fn batch_stats_default_is_all_zero() {
+        let stats = BatchStats::default();
+        assert_eq!(stats.requests, 0);
+        assert!(stats.store.is_none());
+    }
+}

@@ -14,7 +14,11 @@
 //!
 //! Usage: `all_experiments [--quick] [--csv] [--markdown] [--serial]
 //! [--compare-serial] [--threads N] [--store-dir DIR | --no-store]
-//! [--store-cap-bytes N]`
+//! [--store-cap-bytes N] [--connect SOCK]`
+//!
+//! With `--connect SOCK` (or `CONFLUENCE_CONNECT=SOCK`) the batch is
+//! submitted to a running `confluence-serve` daemon instead of being
+//! simulated in process; stdout is byte-identical either way.
 
 use confluence_sim::cli;
 use confluence_sim::experiments;
@@ -40,7 +44,7 @@ fn main() {
     let engine = cli::attach_store(engine, &args);
 
     let jobs = experiments::all_jobs(&engine, &cfg);
-    let run = cli::run_batch(&engine, &jobs, "across figures");
+    let run = cli::dispatch_batch(&engine, &jobs, "across figures", &args);
     let reports = experiments::suite_reports(&engine, &cfg);
     let rendered = cli::finish_batch(&engine, &flags, &run, &reports, &args);
 

@@ -7,10 +7,12 @@
 //! `all_experiments` serves most of a sweep from disk.
 //!
 //! Usage: `sweeps [--list] [--study NAME]... [--quick] [--csv | --markdown]
-//! [--threads N] [--store-dir DIR | --no-store] [--store-cap-bytes N]`
+//! [--threads N] [--store-dir DIR | --no-store] [--store-cap-bytes N]
+//! [--connect SOCK]`
 //!
 //! With no `--study`, every registered study runs. `CONFLUENCE_STORE=DIR`
-//! also enables the persistent result store.
+//! also enables the persistent result store; `--connect` submits the
+//! batch to a `confluence-serve` daemon instead of simulating in process.
 
 use confluence_sim::cli;
 use confluence_sim::sweeps;
@@ -69,7 +71,12 @@ fn main() {
     let engine = cli::attach_store(engine, &args);
 
     let jobs: Vec<Job> = studies.iter().flat_map(|s| s.jobs(&engine, &cfg)).collect();
-    let run = cli::run_batch(&engine, &jobs, &format!("across {} studies", studies.len()));
+    let run = cli::dispatch_batch(
+        &engine,
+        &jobs,
+        &format!("across {} studies", studies.len()),
+        &args,
+    );
     let reports: Vec<_> = studies.iter().map(|s| s.report(&engine, &cfg)).collect();
     cli::finish_batch(&engine, &flags, &run, &reports, &args);
 }

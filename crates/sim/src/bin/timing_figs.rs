@@ -7,8 +7,10 @@
 //! sharded rendering is byte-identical to a fully serial reference.
 //!
 //! Usage: `timing_figs [--quick] [--csv|--markdown] [--threads N]
-//! [--compare-serial] [--store-dir DIR | --no-store] [--store-cap-bytes N]`.
-//! `CONFLUENCE_STORE=DIR` also enables the persistent result store.
+//! [--compare-serial] [--store-dir DIR | --no-store] [--store-cap-bytes N]
+//! [--connect SOCK]`. `CONFLUENCE_STORE=DIR` also enables the persistent
+//! result store; `--connect` submits the batch to a `confluence-serve`
+//! daemon instead of simulating in process.
 
 use confluence_sim::cli;
 use confluence_sim::experiments::{self, ExperimentConfig, FIG2_DESIGNS, FIG6_DESIGNS};
@@ -43,7 +45,7 @@ fn main() {
     let engine = cli::attach_store(engine, &args);
 
     let jobs = figure_jobs(&engine, &cfg);
-    let run = cli::run_batch(&engine, &jobs, "for 3 timing figures");
+    let run = cli::dispatch_batch(&engine, &jobs, "for 3 timing figures", &args);
     let reports = figures(&engine, &cfg);
     let rendered = cli::finish_batch(&engine, &flags, &run, &reports, &args);
 

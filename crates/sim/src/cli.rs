@@ -38,6 +38,10 @@ pub const STORE_ENV: &str = "CONFLUENCE_STORE";
 /// Environment variable naming the default store size cap in bytes.
 pub const STORE_CAP_ENV: &str = "CONFLUENCE_STORE_CAP";
 
+/// Environment variable naming the default daemon socket for
+/// `--connect` mode.
+pub const CONNECT_ENV: &str = "CONFLUENCE_CONNECT";
+
 /// The value of `--flag V` or `--flag=V` on the command line, else the
 /// `env` fallback (when given and non-empty). `what` names the expected
 /// value in the error message. Exits with status 2 when the flag is
@@ -90,6 +94,21 @@ pub fn store_dir_from_args(args: &[String]) -> Option<PathBuf> {
     flag_value(args, "--store-dir", "a path", Some(STORE_ENV)).map(PathBuf::from)
 }
 
+/// The daemon socket the command line asks to run against, if any: the
+/// `--connect` flag, else the `CONFLUENCE_CONNECT` environment
+/// variable. With a socket set, the batch binaries submit their jobs to
+/// a running `confluence-serve` instead of simulating in process.
+/// Exits with status 2 on a malformed `--connect`.
+pub fn connect_from_args(args: &[String]) -> Option<PathBuf> {
+    flag_value(args, "--connect", "a socket path", Some(CONNECT_ENV)).map(PathBuf::from)
+}
+
+/// The socket path a daemon invocation asks to listen on (`--socket`).
+/// Exits with status 2 on a malformed value.
+pub fn socket_from_args(args: &[String]) -> Option<PathBuf> {
+    flag_value(args, "--socket", "a socket path", None).map(PathBuf::from)
+}
+
 /// Whether the command line leaves the store's warm-artifact tier on:
 /// `--no-warm-artifacts` turns it off, everything else defers to the
 /// engine's environment-resolved default.
@@ -103,6 +122,17 @@ pub fn warm_artifacts_from_args(args: &[String]) -> bool {
 /// persistence the caller asked for would waste every simulation in the
 /// run.
 pub fn attach_store(engine: SimEngine, args: &[String]) -> SimEngine {
+    // In connect mode persistence belongs to the daemon: jobs never
+    // execute locally, so a local store would only record nothing and
+    // confuse the accounting.
+    if connect_from_args(args).is_some() {
+        if store_dir_from_args(args).is_some() {
+            eprintln!(
+                "note: --connect routes jobs to the daemon's store; ignoring the local store"
+            );
+        }
+        return engine;
+    }
     let engine = if warm_artifacts_from_args(args) {
         engine
     } else {
@@ -248,6 +278,11 @@ pub struct BatchRun {
     pub elapsed: Duration,
     /// Distinct job keys in the batch.
     pub unique: usize,
+    /// The daemon's per-batch accounting, when the batch ran over
+    /// `--connect` instead of in process. [`finish_batch`] renders the
+    /// cache summary from this instead of the (execution-free) local
+    /// engine counters.
+    pub daemon: Option<confluence_serve::BatchStats>,
 }
 
 /// The batch-run half of a multi-report binary's main: announce the
@@ -280,6 +315,64 @@ pub fn run_batch(engine: &SimEngine, jobs: &[Job], context: &str) -> BatchRun {
         stats,
         elapsed,
         unique,
+        daemon: None,
+    }
+}
+
+/// Routes one batch by command line: [`run_batch_connected`] when
+/// `--connect` (or `CONFLUENCE_CONNECT`) names a daemon socket,
+/// [`run_batch`] in process otherwise. The batch binaries call this so
+/// the daemon mode threads through every one of them identically.
+pub fn dispatch_batch(
+    engine: &SimEngine,
+    jobs: &[Job],
+    context: &str,
+    args: &[String],
+) -> BatchRun {
+    match connect_from_args(args) {
+        Some(sock) => run_batch_connected(engine, jobs, context, &sock),
+        None => run_batch(engine, jobs, context),
+    }
+}
+
+/// The `--connect` counterpart of [`run_batch`]: submit the jobs to the
+/// daemon at `sock`, seed every result into the local engine's cache
+/// (so the caller's formatters are pure local reads, and stdout is
+/// byte-identical to an in-process run), and report the daemon's
+/// per-batch accounting. Exits with status 1 on any daemon failure —
+/// there is no silent local fallback, because a half-remote run would
+/// produce correct output while quietly not testing what was asked.
+pub fn run_batch_connected(
+    engine: &SimEngine,
+    jobs: &[Job],
+    context: &str,
+    sock: &std::path::Path,
+) -> BatchRun {
+    let unique = unique_jobs(jobs);
+    eprintln!(
+        "submitting {} unique simulations ({} requested {context}) to the daemon at {}...",
+        unique,
+        jobs.len(),
+        sock.display()
+    );
+    let start = Instant::now();
+    let stats = match crate::daemon::submit_jobs(sock, engine, jobs) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let elapsed = start.elapsed();
+    eprintln!(
+        "daemon: executed {} simulations in {:.2?} ({} requests, {} memory hits, {} disk hits)",
+        stats.executed, elapsed, stats.requests, stats.hits, stats.disk_hits
+    );
+    BatchRun {
+        stats: engine.stats(),
+        elapsed,
+        unique,
+        daemon: Some(stats),
     }
 }
 
@@ -305,7 +398,10 @@ pub fn finish_batch(
         "formatting must be pure cache hits"
     );
     finish_store(engine, args);
-    eprintln!("{}", cache_summary(engine));
+    match &run.daemon {
+        Some(stats) => eprintln!("{}", daemon_cache_summary(stats)),
+        None => eprintln!("{}", cache_summary(engine)),
+    }
     rendered
 }
 
@@ -377,32 +473,97 @@ pub fn cache_summary(engine: &SimEngine) -> String {
     let store = match engine.store() {
         Some(s) => {
             let usage = s.usage();
-            format!(
-                "store {} (schema v{}, {} entries, {} bytes, {} artifacts, {} artifact bytes)",
-                s.root().display(),
+            store_segment(
+                &s.root().display().to_string(),
                 s.schema(),
-                usage.entries,
+                usage.entries as u64,
                 usage.bytes,
-                usage.artifacts,
-                usage.artifact_bytes
+                usage.artifacts as u64,
+                usage.artifact_bytes,
             )
         }
         None => "store disabled".to_string(),
     };
     let memo = engine.memo_stats();
-    format!(
-        "cache: {} requests = {} executed + {} memory hits + {} disk hits; {}; \
-         memo: {} replay hits, {} recorded, {} live, {} tables ({} steps)",
-        stats.requests,
-        stats.executed,
-        stats.hits,
-        stats.disk_hits,
-        store,
+    summary_line(
+        "cache",
+        &stats,
+        &store,
         memo.replayed,
         memo.recorded,
         memo.live,
-        memo.tables,
-        memo.steps
+        memo.tables as u64,
+        memo.steps as u64,
+    )
+}
+
+/// The same one-line accounting, rendered from a daemon's `BatchDone`
+/// stats instead of a local engine — so a `--connect` run's stderr
+/// carries the identical audit trail (CI greps the `0 recorded` memo
+/// tail on warm daemon runs exactly as it does in process). The
+/// `daemon cache:` prefix marks whose counters these are.
+pub fn daemon_cache_summary(stats: &confluence_serve::BatchStats) -> String {
+    let store = match &stats.store {
+        Some(l) => store_segment(
+            &l.root,
+            l.schema,
+            l.entries,
+            l.bytes,
+            l.artifacts,
+            l.artifact_bytes,
+        ),
+        None => "store disabled".to_string(),
+    };
+    let engine_stats = EngineStats {
+        requests: stats.requests,
+        executed: stats.executed,
+        hits: stats.hits,
+        disk_hits: stats.disk_hits,
+    };
+    summary_line(
+        "daemon cache",
+        &engine_stats,
+        &store,
+        stats.memo_replayed,
+        stats.memo_recorded,
+        stats.memo_live,
+        stats.memo_tables,
+        stats.memo_steps,
+    )
+}
+
+/// The store segment of a cache summary, shared by the local and daemon
+/// renderings so the two cannot drift apart.
+fn store_segment(
+    root: &str,
+    schema: u32,
+    entries: u64,
+    bytes: u64,
+    artifacts: u64,
+    artifact_bytes: u64,
+) -> String {
+    format!(
+        "store {root} (schema v{schema}, {entries} entries, {bytes} bytes, \
+         {artifacts} artifacts, {artifact_bytes} artifact bytes)"
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn summary_line(
+    label: &str,
+    stats: &EngineStats,
+    store: &str,
+    replayed: u64,
+    recorded: u64,
+    live: u64,
+    tables: u64,
+    steps: u64,
+) -> String {
+    format!(
+        "{label}: {} requests = {} executed + {} memory hits + {} disk hits; {store}; \
+         memo: {replayed} replay hits, {recorded} recorded, {live} live, \
+         {tables} tables ({steps} steps)",
+        stats.requests, stats.executed, stats.hits, stats.disk_hits,
     )
 }
 

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use confluence_core::AirBtbMode;
 use confluence_store::{Decode, Encode, Reader, WireError};
-use confluence_trace::{Workload, WorkloadSpec};
+use confluence_trace::{Program, Workload, WorkloadSpec};
 use confluence_uarch::{CoreParams, MemParams};
 
 use crate::cmp::{TimingConfig, TimingResult};
@@ -617,6 +617,21 @@ impl Decode for JobOutput {
             _ => return Err(tag_error(offset, "unknown job-output tag")),
         })
     }
+}
+
+/// FNV-1a fingerprint of an engine's workload configuration: every
+/// workload tag plus its full generating spec, in declaration order.
+/// The daemon handshake compares fingerprints so a quick-mode client
+/// talking to a full-mode daemon (or any other spec divergence — the
+/// `Job` bytes alone do not carry the spec) is a typed refusal up
+/// front instead of silently different results.
+pub fn workloads_fingerprint(workloads: &[(Workload, Arc<Program>)]) -> u64 {
+    let mut bytes = Vec::new();
+    for (w, program) in workloads {
+        encode_workload(*w, &mut bytes);
+        encode_spec(program.spec(), &mut bytes);
+    }
+    confluence_store::wire::fnv1a(&bytes)
 }
 
 /// True when a decoded output is the kind `job` produces. A store entry

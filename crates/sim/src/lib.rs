@@ -7,6 +7,7 @@ pub mod cli;
 mod cmp;
 pub mod codec;
 mod coverage;
+pub mod daemon;
 mod designs;
 mod engine;
 pub mod experiments;

@@ -1,0 +1,322 @@
+//! End-to-end tests of the experiment daemon: an in-process
+//! `confluence_serve::Server` mounted over an [`EngineHost`], exercised
+//! through real Unix-domain sockets by real [`Client`]s — concurrent
+//! clients with overlapping batches, warm second batches, store GC,
+//! once-per-lifetime artifact imports, and the protocol's typed failure
+//! paths.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use confluence_serve::protocol::{self, Frame};
+use confluence_serve::{Client, ClientError, ErrorCode, Server, ServerHandle};
+use confluence_sim::daemon::{submit_jobs, EngineHost};
+use confluence_sim::{
+    BtbSpec, CoverageJob, CoverageOptions, DensityJob, Job, SimEngine, SCHEMA_VERSION,
+};
+use confluence_store::{Encode, ResultStore};
+use confluence_trace::{Program, Workload, WorkloadSpec};
+
+/// Fresh per-test scratch directory (sockets and stores live here).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "confluence-serve-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir writable");
+    dir
+}
+
+/// An engine over the deterministic tiny workload; every call generates
+/// an identical program, so daemon and clients share a fingerprint.
+fn tiny_engine() -> SimEngine {
+    let program = Arc::new(Program::generate(&WorkloadSpec::tiny()).expect("tiny spec generates"));
+    SimEngine::new(vec![(Workload::WebFrontend, program)]).with_threads(2)
+}
+
+/// A small mixed batch: three coverage points and a density probe, all
+/// cheap enough for CI but distinct content keys.
+fn tiny_jobs() -> Vec<Job> {
+    let opts = CoverageOptions {
+        warmup_instrs: 5_000,
+        measure_instrs: 5_000,
+        ..Default::default()
+    };
+    let coverage = |btb| {
+        Job::Coverage(CoverageJob {
+            workload: Workload::WebFrontend,
+            btb,
+            opts: opts.clone(),
+        })
+    };
+    vec![
+        coverage(BtbSpec::Perfect),
+        coverage(BtbSpec::Baseline1k),
+        coverage(BtbSpec::Ideal16k),
+        Job::Density(DensityJob {
+            workload: Workload::WebFrontend,
+            instrs: 5_000,
+            seed: 7,
+        }),
+    ]
+}
+
+fn spawn_daemon(
+    engine: SimEngine,
+    sock: &Path,
+    cap: Option<u64>,
+) -> (Arc<EngineHost>, ServerHandle) {
+    let host = Arc::new(EngineHost::new(engine, cap));
+    let server = Server::bind(sock, Arc::clone(&host)).expect("bind test socket");
+    (host, server.spawn())
+}
+
+/// Reference outputs computed in process, for byte comparison.
+fn reference_outputs(jobs: &[Job]) -> Vec<Vec<u8>> {
+    let engine = tiny_engine();
+    jobs.iter().map(|j| engine.output(j).to_bytes()).collect()
+}
+
+#[test]
+fn concurrent_clients_share_exactly_once_execution() {
+    let dir = scratch("concurrent");
+    let sock = dir.join("daemon.sock");
+    let (host, handle) = spawn_daemon(tiny_engine(), &sock, None);
+
+    let jobs = tiny_jobs();
+    let expected = reference_outputs(&jobs);
+
+    // Four clients, overlapping batches over the same content keys, each
+    // seeding its own local engine — the in-process shape of four
+    // separate figure binaries pointed at one daemon.
+    let client_stats: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (sock, jobs) = (&sock, &jobs);
+                scope.spawn(move || {
+                    let local = tiny_engine();
+                    let stats = submit_jobs(sock, &local, jobs).expect("batch succeeds");
+                    let outputs: Vec<Vec<u8>> =
+                        jobs.iter().map(|j| local.output(j).to_bytes()).collect();
+                    (stats, outputs)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Byte-identical results for every client, against an in-process run.
+    for (_, outputs) in &client_stats {
+        assert_eq!(outputs, &expected, "daemon results must match in-process");
+    }
+    // Exactly once across all four clients: the daemon's engine executed
+    // each unique job a single time and served everything else as hits.
+    let unique = jobs.len() as u64;
+    let totals = host.engine().stats();
+    assert_eq!(totals.executed, unique);
+    assert_eq!(totals.requests, 4 * unique);
+    assert_eq!(totals.hits, 3 * unique);
+    // Per-batch deltas are windows over the shared counters: overlapping
+    // batches each see the executions that landed during their window,
+    // so each delta is bounded by the truth even though concurrent
+    // windows overlap.
+    for (stats, _) in &client_stats {
+        assert!(
+            stats.executed <= unique,
+            "no batch can over-claim: {stats:?}"
+        );
+    }
+
+    handle.stop().expect("clean shutdown");
+    assert!(!sock.exists(), "stop removes the socket file");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_second_batch_executes_nothing_and_reimports_nothing() {
+    let dir = scratch("warm");
+    let sock = dir.join("daemon.sock");
+    let store_dir = dir.join("store");
+    let jobs = tiny_jobs();
+
+    // Populate the store — results and warm artifacts — with a plain
+    // in-process run, then delete the result entries so only the
+    // artifact tier remains: the CI "artifact-warm" shape.
+    {
+        let engine = tiny_engine()
+            .with_store(ResultStore::open(&store_dir, SCHEMA_VERSION).expect("store opens"));
+        engine.run(&jobs);
+        assert!(engine.persist_warm_artifacts() > 0, "artifacts written");
+    }
+    let versioned = store_dir.join(format!("v{SCHEMA_VERSION}"));
+    for entry in std::fs::read_dir(&versioned).expect("store dir exists") {
+        let path = entry.expect("readable").path();
+        if path.extension().is_some_and(|x| x == "bin") {
+            std::fs::remove_file(&path).expect("evict result entry");
+        }
+    }
+
+    let engine = tiny_engine()
+        .with_store(ResultStore::open(&store_dir, SCHEMA_VERSION).expect("store reopens"))
+        .with_warm_artifacts(true);
+    let (host, handle) = spawn_daemon(engine, &sock, None);
+
+    // Batch 1: result entries are gone, so everything executes — but in
+    // replay mode off the imported artifact, recording nothing new.
+    let local1 = tiny_engine();
+    let stats1 = submit_jobs(&sock, &local1, &jobs).expect("first batch");
+    assert_eq!(stats1.executed, jobs.len() as u64);
+    assert!(stats1.memo_replayed > 0, "artifact-warm run replays");
+    assert_eq!(stats1.memo_recorded, 0, "artifact-warm run records nothing");
+    let imports_after_first = host.engine().warm_imports();
+    assert_eq!(imports_after_first, 1, "one workload, one import");
+
+    // Batch 2 (fresh client): pure memory hits, and — the PR 7 caveat
+    // fixed — the daemon does not re-import the memo table per batch.
+    let local2 = tiny_engine();
+    let stats2 = submit_jobs(&sock, &local2, &jobs).expect("second batch");
+    assert_eq!(stats2.executed, 0, "warm daemon executes nothing");
+    assert_eq!(stats2.disk_hits, 0);
+    assert_eq!(stats2.hits, jobs.len() as u64);
+    assert_eq!(
+        host.engine().warm_imports(),
+        imports_after_first,
+        "second batch must not re-import artifacts"
+    );
+
+    // Both clients still decode identical bytes.
+    let expected = reference_outputs(&jobs);
+    for local in [&local1, &local2] {
+        let outputs: Vec<Vec<u8>> = jobs.iter().map(|j| local.output(j).to_bytes()).collect();
+        assert_eq!(outputs, expected);
+    }
+
+    handle.stop().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_applies_store_cap_after_each_batch() {
+    let dir = scratch("gc");
+    let sock = dir.join("daemon.sock");
+    let store_dir = dir.join("store");
+    let engine = tiny_engine()
+        .with_store(ResultStore::open(&store_dir, SCHEMA_VERSION).expect("store opens"));
+    // A 1-byte cap: every entry the batch writes must be evicted again
+    // in the daemon's post-batch maintenance.
+    let (host, handle) = spawn_daemon(engine, &sock, Some(1));
+
+    let jobs = tiny_jobs();
+    let local = tiny_engine();
+    let stats = submit_jobs(&sock, &local, &jobs).expect("batch succeeds");
+    assert_eq!(stats.executed, jobs.len() as u64);
+
+    let usage = host.engine().store().expect("store attached").usage();
+    assert_eq!(
+        (usage.entries, usage.artifacts),
+        (0, 0),
+        "post-batch GC must enforce the cap"
+    );
+    // The BatchDone store line reflects post-GC occupancy.
+    let line = stats.store.expect("store line present");
+    assert_eq!(line.entries, 0);
+
+    handle.stop().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mismatched_handshakes_are_typed_refusals() {
+    let dir = scratch("handshake");
+    let sock = dir.join("daemon.sock");
+    let (host, handle) = spawn_daemon(tiny_engine(), &sock, None);
+    let fingerprint = host.fingerprint();
+
+    match Client::connect(&sock, SCHEMA_VERSION + 1, fingerprint) {
+        Err(ClientError::Daemon { code, .. }) => assert_eq!(code, ErrorCode::SchemaMismatch),
+        Err(other) => panic!("schema mismatch must be a typed refusal, got {other:?}"),
+        Ok(_) => panic!("schema mismatch must not connect"),
+    }
+    match Client::connect(&sock, SCHEMA_VERSION, fingerprint ^ 1) {
+        Err(ClientError::Daemon { code, .. }) => assert_eq!(code, ErrorCode::ConfigMismatch),
+        Err(other) => panic!("config mismatch must be a typed refusal, got {other:?}"),
+        Ok(_) => panic!("config mismatch must not connect"),
+    }
+    // The daemon is not poisoned: a correct handshake still succeeds.
+    Client::connect(&sock, SCHEMA_VERSION, fingerprint).expect("valid handshake accepted");
+
+    handle.stop().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_traffic_gets_typed_errors_and_never_poisons() {
+    let dir = scratch("malformed");
+    let sock = dir.join("daemon.sock");
+    let (host, handle) = spawn_daemon(tiny_engine(), &sock, None);
+    let fingerprint = host.fingerprint();
+
+    // A frame that decodes to garbage (valid envelope, junk payload):
+    // the daemon answers with a typed Error frame, not a hangup.
+    {
+        use std::os::unix::net::UnixStream;
+        let mut stream = UnixStream::connect(&sock).expect("connect");
+        confluence_store::write_frame(&mut stream, &[0xFF, 0x01, 0x02]).expect("send junk");
+        match protocol::recv(&mut stream) {
+            Ok(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::MalformedFrame),
+            other => panic!("junk frame must earn a typed error, got {other:?}"),
+        }
+    }
+
+    // A well-formed frame protocol carrying an undecodable job payload.
+    {
+        let mut client = Client::connect(&sock, SCHEMA_VERSION, fingerprint).expect("handshake");
+        match client.submit(1, vec![b"not a job".to_vec()]) {
+            Err(ClientError::Daemon { code, .. }) => assert_eq!(code, ErrorCode::MalformedJob),
+            other => panic!("bad job payload must be a typed error, got {other:?}"),
+        }
+    }
+
+    // A client that submits a batch and vanishes without reading.
+    {
+        use std::os::unix::net::UnixStream;
+        let mut stream = UnixStream::connect(&sock).expect("connect");
+        protocol::send(
+            &mut stream,
+            &Frame::Hello {
+                proto: protocol::PROTO_VERSION,
+                schema: SCHEMA_VERSION,
+                fingerprint,
+            },
+        )
+        .expect("hello");
+        assert!(matches!(
+            protocol::recv(&mut stream),
+            Ok(Frame::HelloAck { .. })
+        ));
+        let payloads = tiny_jobs().iter().map(Encode::to_bytes).collect();
+        protocol::send(
+            &mut stream,
+            &Frame::SubmitBatch {
+                batch_id: 9,
+                jobs: payloads,
+            },
+        )
+        .expect("submit");
+        drop(stream); // gone before a single result frame is read
+    }
+
+    // After all of that, an honest client still gets full service and
+    // exactly-once totals hold.
+    let jobs = tiny_jobs();
+    let local = tiny_engine();
+    submit_jobs(&sock, &local, &jobs).expect("daemon survives hostile clients");
+    let expected = reference_outputs(&jobs);
+    let outputs: Vec<Vec<u8>> = jobs.iter().map(|j| local.output(j).to_bytes()).collect();
+    assert_eq!(outputs, expected);
+
+    handle.stop().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -138,6 +138,25 @@ impl Encode for str {
     }
 }
 
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_str().encode(out);
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let start = r.offset();
+        let bytes = r.length_prefixed()?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| WireError {
+                offset: start,
+                reason: "invalid UTF-8 in string",
+            })
+    }
+}
+
 impl<T: Encode> Encode for Vec<T> {
     fn encode(&self, out: &mut Vec<u8>) {
         wire::put_usize(out, self.len());
@@ -198,6 +217,18 @@ mod tests {
         roundtrip(vec![1u64, 2, 3]);
         roundtrip(Vec::<u64>::new());
         roundtrip((7usize, 3.5f64));
+        roundtrip(String::new());
+        roundtrip("schema mismatch: daemon is v2".to_string());
+    }
+
+    #[test]
+    fn invalid_utf8_string_errors() {
+        let mut bytes = Vec::new();
+        wire::put_length_prefixed(&mut bytes, &[0xFF, 0xFE]);
+        assert_eq!(
+            String::from_bytes(&bytes).unwrap_err().reason,
+            "invalid UTF-8 in string"
+        );
     }
 
     #[test]

@@ -24,4 +24,4 @@ pub mod wire;
 
 pub use codec::{Decode, Encode};
 pub use store::{GcStats, ResultStore, StoreUsage};
-pub use wire::{Reader, WireError};
+pub use wire::{read_frame, write_frame, FrameError, Reader, WireError};

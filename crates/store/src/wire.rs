@@ -1,15 +1,24 @@
 //! Low-level wire primitives shared by every binary codec in the
 //! workspace: fixed-width little-endian integers, LEB128 varints,
-//! length-prefixed byte strings, and the FNV-1a checksum.
+//! length-prefixed byte strings, the FNV-1a checksum, and checksummed
+//! stream frames.
 //!
 //! Writers are free functions over `Vec<u8>`; reads go through [`Reader`],
 //! an offset-tracking cursor whose errors ([`WireError`]) name the byte
 //! where decoding failed. The trace serializer
-//! (`confluence_trace::serialize`) and the result-store codec are both
-//! built on these helpers, so framing bugs get fixed in one place.
+//! (`confluence_trace::serialize`), the result-store codec, and the
+//! experiment-service frame protocol (`confluence_serve`) are all built
+//! on these helpers, so framing bugs get fixed in one place.
+//!
+//! The stream half ([`write_frame`]/[`read_frame`]) wraps an opaque
+//! payload in the envelope `u32 len | payload | u64 fnv1a(payload)` over
+//! any `io::Read`/`io::Write`. A frame either arrives whole and verified
+//! or fails with a typed [`FrameError`]; after a corrupt frame the stream
+//! cannot be resynchronized and must be closed.
 
 use std::error::Error;
 use std::fmt;
+use std::io;
 
 /// Error returned when decoding a malformed buffer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -209,6 +218,103 @@ pub fn put_length_prefixed(out: &mut Vec<u8>, bytes: &[u8]) {
     out.extend_from_slice(bytes);
 }
 
+/// Why a stream frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended cleanly at a frame boundary (no bytes of a next
+    /// frame had arrived) — the peer closed the connection.
+    Closed,
+    /// The underlying transport failed, including an EOF that cut a
+    /// frame in half.
+    Io(io::Error),
+    /// The frame failed verification: an oversized length prefix or a
+    /// checksum mismatch. The stream cannot be resynchronized past this.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "stream closed at a frame boundary"),
+            FrameError::Io(e) => write!(f, "frame I/O failed: {e}"),
+            FrameError::Corrupt(reason) => write!(f, "corrupt frame: {reason}"),
+        }
+    }
+}
+
+impl Error for FrameError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one stream frame: `u32 len | payload | u64 fnv1a(payload)`.
+/// The checksum covers the payload only; the fixed-width length makes
+/// the envelope self-delimiting without touching the payload's encoding.
+///
+/// # Errors
+///
+/// Errors if the transport rejects the write.
+pub fn write_frame<W: io::Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&fnv1a(payload).to_le_bytes())?;
+    w.flush()
+}
+
+/// Reads one stream frame written by [`write_frame`], returning its
+/// verified payload. `max_len` bounds the length prefix so a garbled
+/// (or hostile) peer cannot demand an arbitrary allocation.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on a clean EOF between frames, [`FrameError::Io`]
+/// on transport failure or mid-frame EOF, [`FrameError::Corrupt`] on an
+/// oversized length or checksum mismatch.
+pub fn read_frame<R: io::Read>(r: &mut R, max_len: u32) -> Result<Vec<u8>, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    // Distinguish "peer closed between frames" from "frame cut short":
+    // only a zero-byte first read is a clean close.
+    let mut filled = 0;
+    while filled < len_bytes.len() {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Err(FrameError::Closed),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame header",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > max_len {
+        return Err(FrameError::Corrupt("frame length exceeds cap"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut checksum_bytes = [0u8; 8];
+    r.read_exact(&mut checksum_bytes)?;
+    if fnv1a(&payload) != u64::from_le_bytes(checksum_bytes) {
+        return Err(FrameError::Corrupt("frame checksum mismatch"));
+    }
+    Ok(payload)
+}
+
 /// 64-bit FNV-1a over `data` — the store's key hash and entry checksum.
 /// Not cryptographic; collisions are tolerated because entries embed the
 /// full key and are compared before use.
@@ -303,6 +409,71 @@ mod tests {
         assert_eq!(r.f64_bits().unwrap(), -0.5);
         assert!(r.is_empty());
         assert_eq!(r.u8().unwrap_err().reason, "truncated");
+    }
+
+    #[test]
+    fn stream_frames_roundtrip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"third frame").unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r, 1024).unwrap(), b"first");
+        assert_eq!(read_frame(&mut r, 1024).unwrap(), b"");
+        assert_eq!(read_frame(&mut r, 1024).unwrap(), b"third frame");
+        assert!(matches!(read_frame(&mut r, 1024), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn truncated_stream_frame_is_io_not_closed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        // Every strict prefix that cuts into the frame is an I/O error
+        // (mid-frame EOF), never a clean close and never a panic.
+        for keep in 1..buf.len() {
+            let mut r = std::io::Cursor::new(&buf[..keep]);
+            assert!(
+                matches!(read_frame(&mut r, 1024), Err(FrameError::Io(_))),
+                "kept {keep} of {} bytes",
+                buf.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_frame_bit_flip_is_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"sensitive").unwrap();
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                let mut garbled = buf.clone();
+                garbled[byte] ^= 1 << bit;
+                let mut r = std::io::Cursor::new(&garbled);
+                // A flip in the length prefix turns into a cap, EOF, or
+                // checksum failure; a flip in payload or checksum fails
+                // verification. None may yield the clean payload.
+                match read_frame(&mut r, 64) {
+                    Ok(payload) => {
+                        panic!("flip byte {byte} bit {bit} returned {payload:?}")
+                    }
+                    Err(FrameError::Closed) => {
+                        panic!("flip byte {byte} bit {bit} read as clean close")
+                    }
+                    Err(FrameError::Io(_) | FrameError::Corrupt(_)) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_frame_length_is_rejected_before_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut r, 1 << 20),
+            Err(FrameError::Corrupt("frame length exceeds cap"))
+        ));
     }
 
     #[test]
