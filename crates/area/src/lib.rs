@@ -105,6 +105,13 @@ impl AreaModel {
     pub fn relative_area(&self, profile: &StorageProfile, baseline: &StorageProfile) -> f64 {
         (self.core_mm2 + self.frontend_mm2(profile)) / (self.core_mm2 + self.frontend_mm2(baseline))
     }
+
+    /// Total chip area in mm²: every core plus its frontend, with the
+    /// amortized LLC tag extension paid once — the denominator of the
+    /// "IPC per mm² under an area budget" search objective.
+    pub fn chip_mm2(&self, profile: &StorageProfile) -> f64 {
+        self.cores as f64 * (self.core_mm2 + self.frontend_mm2(profile))
+    }
 }
 
 impl Default for AreaModel {
@@ -176,6 +183,27 @@ mod tests {
             .with_llc_tag_extension(240 * 1024);
         let rel = model.relative_area(&confluence, &baseline);
         assert!((1.005..1.02).contains(&rel), "got {rel}");
+    }
+
+    #[test]
+    fn chip_area_pays_the_tag_extension_once() {
+        // Per-core area amortizes the tag extension over the cores, so
+        // the chip total must equal cores*core + cores*dedicated + ext:
+        // scaling the core count leaves the extension's share constant.
+        let profile = StorageProfile::empty()
+            .with_array("AirBTB", 10 * 1024 * 8)
+            .with_llc_tag_extension(240 * 1024);
+        let ext = sram_mm2(240.0);
+        let dedicated = sram_mm2(10.0);
+        for cores in [1, 4, 16] {
+            let model = AreaModel::new(CORE_MM2, cores);
+            let expect = cores as f64 * (CORE_MM2 + dedicated) + ext;
+            let got = model.chip_mm2(&profile);
+            assert!(
+                (got - expect).abs() < 1e-9,
+                "{cores} cores: {got} vs {expect}"
+            );
+        }
     }
 
     #[test]

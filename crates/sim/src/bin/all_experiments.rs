@@ -23,8 +23,15 @@
 use confluence_sim::cli;
 use confluence_sim::experiments;
 
+const USAGE: &str = "all_experiments [--quick] [--csv | --markdown] [--serial | \
+     --compare-serial] [--threads N] [--store-dir DIR | --no-store] \
+     [--store-cap-bytes N] [--no-warm-artifacts] [--no-fastpath] [--connect SOCK]";
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let switches = [cli::COMMON_SWITCHES, &["--serial", "--compare-serial"]].concat();
+    let values = [cli::COMMON_VALUE_FLAGS, &["--connect"]].concat();
+    cli::reject_unknown_args(&args, &switches, &values, USAGE);
     let flags = cli::parse_common(&args);
     let serial = args.iter().any(|a| a == "--serial");
     let compare = args.iter().any(|a| a == "--compare-serial");

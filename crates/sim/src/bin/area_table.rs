@@ -1,16 +1,26 @@
-//! Regenerates the paper's storage/area accounting. Usage: `area_table [--csv]`.
+//! Regenerates the paper's storage/area accounting.
+//! Usage: `area_table [--csv | --markdown]`.
 //!
-//! The table is pure arithmetic over the design points' storage profiles —
-//! no simulations run, so the suite-wide store options (`--store-dir`,
-//! `--no-store`, `CONFLUENCE_STORE`) are accepted but have nothing to do.
+//! The table is pure arithmetic over the design points' storage
+//! profiles — no simulations run, so none of the suite-wide engine or
+//! store options apply here.
 
+use confluence_sim::cli;
 use confluence_sim::experiments;
 
 fn main() {
-    let csv = std::env::args().any(|a| a == "--csv");
+    let args: Vec<String> = std::env::args().collect();
+    cli::reject_unknown_args(
+        &args,
+        &["--csv", "--markdown"],
+        &[],
+        "area_table [--csv | --markdown]",
+    );
     let r = experiments::area_table();
-    if csv {
+    if args.iter().any(|a| a == "--csv") {
         println!("{}", r.to_csv());
+    } else if args.iter().any(|a| a == "--markdown") {
+        println!("{}", r.to_markdown());
     } else {
         println!("{}", r.to_table());
     }

@@ -35,6 +35,19 @@ fn main() {
         eprintln!("error: --connect is a client flag; the daemon listens with --socket");
         std::process::exit(2);
     }
+    cli::reject_unknown_args(
+        &args,
+        &[
+            "--quick",
+            "--no-store",
+            "--no-warm-artifacts",
+            "--no-fastpath",
+        ],
+        &["--socket", "--threads", "--store-dir", "--store-cap-bytes"],
+        "confluence-serve --socket PATH [--quick] [--threads N] \
+         [--store-dir DIR | --no-store] [--store-cap-bytes N] \
+         [--no-warm-artifacts] [--no-fastpath]",
+    );
     let flags = cli::parse_common(&args);
     let cfg = flags.config();
 

@@ -18,8 +18,15 @@ use confluence_sim::cli;
 use confluence_sim::sweeps;
 use confluence_sim::Job;
 
+const USAGE: &str = "sweeps [--list] [--study NAME]... [--quick] [--csv | --markdown] \
+     [--threads N] [--store-dir DIR | --no-store] [--store-cap-bytes N] \
+     [--no-warm-artifacts] [--no-fastpath] [--connect SOCK]";
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let switches = [cli::COMMON_SWITCHES, &["--list"]].concat();
+    let values = [cli::COMMON_VALUE_FLAGS, &["--study", "--connect"]].concat();
+    cli::reject_unknown_args(&args, &switches, &values, USAGE);
     if args.iter().any(|a| a == "--list") {
         for s in sweeps::registry() {
             println!(
@@ -34,19 +41,26 @@ fn main() {
 
     let flags = cli::parse_common(&args);
 
-    // Repeatable --study NAME; no occurrences selects the full registry.
+    // Repeatable --study NAME / --study=NAME; no occurrences selects the
+    // full registry.
+    let resolve = |name: &str| match sweeps::find(name) {
+        Some(spec) => spec,
+        None => {
+            eprintln!("error: unknown study '{name}' (try --list)");
+            std::process::exit(2);
+        }
+    };
     let mut selected = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--study" {
+        if let Some(name) = args[i].strip_prefix("--study=") {
+            selected.push(resolve(name));
+        } else if args[i] == "--study" {
             match args.get(i + 1) {
-                Some(name) if !name.starts_with("--") => match sweeps::find(name) {
-                    Some(spec) => selected.push(spec),
-                    None => {
-                        eprintln!("error: unknown study '{name}' (try --list)");
-                        std::process::exit(2);
-                    }
-                },
+                Some(name) if !name.starts_with("--") => {
+                    selected.push(resolve(name));
+                    i += 1;
+                }
                 _ => {
                     eprintln!("error: --study requires a name (try --list)");
                     std::process::exit(2);

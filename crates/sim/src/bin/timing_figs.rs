@@ -33,8 +33,15 @@ fn figures(engine: &SimEngine, cfg: &ExperimentConfig) -> Vec<Report> {
     ]
 }
 
+const USAGE: &str = "timing_figs [--quick] [--csv | --markdown] [--compare-serial] \
+     [--threads N] [--store-dir DIR | --no-store] [--store-cap-bytes N] \
+     [--no-warm-artifacts] [--no-fastpath] [--connect SOCK]";
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let switches = [cli::COMMON_SWITCHES, &["--compare-serial"]].concat();
+    let values = [cli::COMMON_VALUE_FLAGS, &["--connect"]].concat();
+    cli::reject_unknown_args(&args, &switches, &values, USAGE);
     let flags = cli::parse_common(&args);
     let compare = args.iter().any(|a| a == "--compare-serial");
     let cfg = flags.config();

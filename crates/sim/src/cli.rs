@@ -42,6 +42,76 @@ pub const STORE_CAP_ENV: &str = "CONFLUENCE_STORE_CAP";
 /// `--connect` mode.
 pub const CONNECT_ENV: &str = "CONFLUENCE_CONNECT";
 
+/// The boolean flags every engine-running binary accepts (the shared
+/// half of each binary's known-flag table — see [`reject_unknown_args`]).
+pub const COMMON_SWITCHES: &[&str] = &[
+    "--quick",
+    "--csv",
+    "--markdown",
+    "--no-store",
+    "--no-warm-artifacts",
+    "--no-fastpath",
+];
+
+/// The value-taking flags every engine-running binary accepts.
+pub const COMMON_VALUE_FLAGS: &[&str] = &["--threads", "--store-dir", "--store-cap-bytes"];
+
+/// Everything on the command line that is not in the known-flag tables,
+/// in argument order: unknown `--flags`, known switches spelled with a
+/// value (`--quick=1`), and stray positional words. `value_flags`
+/// consume the following token as their value (space form) unless it
+/// looks like another flag, matching [`flag_value`]'s grammar exactly —
+/// so a `--threads` with a missing value is *not* reported here (it is
+/// `flag_value`'s own exit-2 case, with a more precise message).
+pub fn find_unknown_args(args: &[String], switches: &[&str], value_flags: &[&str]) -> Vec<String> {
+    let mut unknown = Vec::new();
+    let mut i = 1; // args[0] is the binary path
+    while i < args.len() {
+        let arg = &args[i];
+        i += 1;
+        if let Some(rest) = arg.strip_prefix("--") {
+            let name: &str = &arg[..2 + rest.find('=').unwrap_or(rest.len())];
+            let has_eq = rest.contains('=');
+            if value_flags.contains(&name) {
+                if !has_eq {
+                    // Space-form value: consume it (when present).
+                    if args.get(i).is_some_and(|v| !v.starts_with("--")) {
+                        i += 1;
+                    }
+                }
+            } else if !switches.contains(&name) || has_eq {
+                unknown.push(arg.clone());
+            }
+        } else {
+            unknown.push(arg.clone());
+        }
+    }
+    unknown
+}
+
+/// The strict-parsing gate every binary runs right after collecting its
+/// arguments: anything [`find_unknown_args`] flags is an error — printed
+/// with the binary's usage line — and exit 2. Before this gate a typo
+/// like `--qiuck` silently fell through the string probes and ran the
+/// full multi-hour suite.
+pub fn reject_unknown_args(args: &[String], switches: &[&str], value_flags: &[&str], usage: &str) {
+    let unknown = find_unknown_args(args, switches, value_flags);
+    if unknown.is_empty() {
+        return;
+    }
+    for arg in &unknown {
+        eprintln!("error: unrecognized argument '{arg}'");
+    }
+    eprintln!("usage: {usage}");
+    std::process::exit(2);
+}
+
+/// The usage tail shared by every single-figure binary (see
+/// [`run_figure`]); batch binaries append their extras to it.
+pub const FIGURE_USAGE_TAIL: &str = "[--quick] [--csv | --markdown] [--threads N] \
+     [--store-dir DIR | --no-store] [--store-cap-bytes N] \
+     [--no-warm-artifacts] [--no-fastpath]";
+
 /// The value of `--flag V` or `--flag=V` on the command line, else the
 /// `env` fallback (when given and non-empty). `what` names the expected
 /// value in the error message. Exits with status 2 when the flag is
@@ -162,7 +232,17 @@ pub fn store_cap_from_args(args: &[String]) -> Option<u64> {
     )
     .map(|v| {
         v.parse::<u64>().unwrap_or_else(|_| {
-            eprintln!("error: --store-cap-bytes requires a byte count, got '{v}'");
+            // Name whichever spelling actually supplied the bad value so
+            // the fix is obvious from the message alone.
+            let source = if args
+                .iter()
+                .any(|a| a == "--store-cap-bytes" || a.starts_with("--store-cap-bytes="))
+            {
+                "--store-cap-bytes"
+            } else {
+                STORE_CAP_ENV
+            };
+            eprintln!("error: {source} requires a byte count, got '{v}'");
             std::process::exit(2);
         })
     })
@@ -234,8 +314,17 @@ impl CommonFlags {
 }
 
 /// Parses the [`CommonFlags`] out of a command line. Exits with status 2
-/// on a malformed `--threads`.
+/// on a malformed `--threads`, a malformed store cap
+/// (`--store-cap-bytes` / `CONFLUENCE_STORE_CAP`), or a malformed
+/// [`CONFLUENCE_MEMO_CAP`](confluence_trace::MEMO_CAP_ENV) — bad knobs
+/// fail up front, before any workload is generated, instead of being
+/// silently replaced by defaults mid-run.
 pub fn parse_common(args: &[String]) -> CommonFlags {
+    if let Err(e) = confluence_trace::MemoCaps::try_from_env() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    store_cap_from_args(args); // exits 2 on a malformed cap
     let threads = flag_value(args, "--threads", "an integer value", None).map(|v| {
         v.parse::<usize>().unwrap_or_else(|_| {
             eprintln!("error: --threads requires an integer value, got '{v}'");
@@ -257,6 +346,21 @@ pub fn parse_common(args: &[String]) -> CommonFlags {
 /// they pass.
 pub fn run_figure(figure: fn(&SimEngine, &ExperimentConfig) -> Report) {
     let args: Vec<String> = std::env::args().collect();
+    let name = args
+        .first()
+        .map(|p| {
+            std::path::Path::new(p)
+                .file_name()
+                .map(|f| f.to_string_lossy().into_owned())
+                .unwrap_or_else(|| p.clone())
+        })
+        .unwrap_or_else(|| "figure".to_string());
+    reject_unknown_args(
+        &args,
+        COMMON_SWITCHES,
+        COMMON_VALUE_FLAGS,
+        &format!("{name} {FIGURE_USAGE_TAIL}"),
+    );
     let flags = parse_common(&args);
     let cfg = flags.config();
     let mut engine = cfg.engine().with_exec_mode(exec_mode_from_args(&args));
@@ -671,6 +775,54 @@ mod tests {
             cache_summary(&engine).contains(&format!("{} recorded", memo.recorded)),
             "summary must carry the memo counters"
         );
+    }
+
+    #[test]
+    fn unknown_args_catches_typos_and_strays() {
+        let check = |list: &[&str]| -> Vec<String> {
+            // Prepend the binary-path slot the real args vector has.
+            let mut full = vec!["target/debug/fig1".to_string()];
+            full.extend(list.iter().map(|s| s.to_string()));
+            find_unknown_args(&full, COMMON_SWITCHES, COMMON_VALUE_FLAGS)
+        };
+        // A typo'd switch is flagged; so is a bare positional word.
+        assert_eq!(check(&["--qiuck"]), vec!["--qiuck"]);
+        assert_eq!(check(&["--quick", "extra"]), vec!["extra"]);
+        // A known switch spelled with a value is an error, not a value flag.
+        assert_eq!(check(&["--quick=1"]), vec!["--quick=1"]);
+        // Multiple offenders are all reported, in order.
+        assert_eq!(
+            check(&["--stduy", "history", "--quick", "--csvv"]),
+            vec!["--stduy", "history", "--csvv"]
+        );
+    }
+
+    #[test]
+    fn unknown_args_accepts_well_formed_lines() {
+        let check = |list: &[&str]| -> Vec<String> {
+            let mut full = vec!["target/debug/fig1".to_string()];
+            full.extend(list.iter().map(|s| s.to_string()));
+            find_unknown_args(&full, COMMON_SWITCHES, COMMON_VALUE_FLAGS)
+        };
+        assert!(check(&[]).is_empty());
+        assert!(check(&["--quick", "--csv"]).is_empty());
+        // Value flags consume their value in both spellings.
+        assert!(check(&["--threads", "3", "--store-dir", "/tmp/x"]).is_empty());
+        assert!(check(&["--threads=3", "--store-dir=/tmp/x", "--quick"]).is_empty());
+        assert!(check(&["--store-cap-bytes", "4096", "--no-store"]).is_empty());
+        // A value flag with a missing value is flag_value's case, not ours.
+        assert!(check(&["--threads"]).is_empty());
+        assert!(check(&["--threads", "--quick"]).is_empty());
+        // Extra per-binary flags extend the tables.
+        let switches = [COMMON_SWITCHES, &["--list"]].concat();
+        let values = [COMMON_VALUE_FLAGS, &["--study"]].concat();
+        let mut full = vec!["sweeps".to_string()];
+        full.extend(
+            ["--list", "--study", "history", "--study=btb-capacity"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert!(find_unknown_args(&full, &switches, &values).is_empty());
     }
 
     #[test]

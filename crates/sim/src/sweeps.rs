@@ -23,6 +23,12 @@
 //! get a `points`/`build`/`cell` arm each). The golden harness in
 //! `tests/sweeps.rs` pins each registered study's quick-mode report —
 //! regenerate with `CONFLUENCE_REGOLD=1 cargo test`.
+//!
+//! The per-point job constructors ([`history_job`], [`scaling_job`],
+//! [`capacity_job`], ...) are public: the `confluence-search` subsystem
+//! maps its search-space points through the same constructors, so a
+//! search probe and the matching sweep point share one content key (and
+//! therefore one cached simulation).
 
 use confluence_core::AirBtbMode;
 use confluence_trace::Workload;
@@ -151,7 +157,7 @@ pub struct SweepSpec {
 
 /// The baseline coverage run sweeps normalize against — the exact job
 /// Figures 8/9/10 and the L1-I table share.
-fn baseline_job(workload: Workload, cfg: &ExperimentConfig) -> CoverageJob {
+pub fn baseline_job(workload: Workload, cfg: &ExperimentConfig) -> CoverageJob {
     CoverageJob {
         workload,
         btb: BtbSpec::Baseline1k,
@@ -161,7 +167,7 @@ fn baseline_job(workload: Workload, cfg: &ExperimentConfig) -> CoverageJob {
 
 /// Baseline BTB + SHIFT with an explicit history capacity. At the default
 /// capacity this is byte-for-byte the L1-I table's `+SHIFT` job.
-fn history_job(workload: Workload, entries: usize, cfg: &ExperimentConfig) -> CoverageJob {
+pub fn history_job(workload: Workload, entries: usize, cfg: &ExperimentConfig) -> CoverageJob {
     CoverageJob {
         workload,
         btb: BtbSpec::Baseline1k,
@@ -174,7 +180,7 @@ fn history_job(workload: Workload, entries: usize, cfg: &ExperimentConfig) -> Co
 
 /// Full-mode AirBTB + SHIFT at an explicit bundle geometry. At 512
 /// bundles this aliases Figure 10's `(entries, overflow)` grid points.
-fn geometry_job(
+pub fn geometry_job(
     workload: Workload,
     (bundles, bundle_entries, overflow_entries): (usize, usize, usize),
     cfg: &ExperimentConfig,
@@ -198,7 +204,7 @@ fn geometry_job(
 /// hit; in full mode no point coincides, because the suite's native
 /// config pairs 8 cores with a 16-slice LLC while the sweep keeps
 /// LLC-per-core consistent along the axis.
-fn scaling_job(
+pub fn scaling_job(
     workload: Workload,
     design: DesignPoint,
     cores: usize,
@@ -214,7 +220,7 @@ fn scaling_job(
 /// The baseline (no-prefetch) coverage run at an explicit L1-I capacity.
 /// At the paper's 32 KB this *is* the shared coverage baseline — the tail
 /// extension of the persisted key encodes to nothing at the default.
-fn l1i_size_job(workload: Workload, kb: usize, cfg: &ExperimentConfig) -> CoverageJob {
+pub fn l1i_size_job(workload: Workload, kb: usize, cfg: &ExperimentConfig) -> CoverageJob {
     CoverageJob {
         workload,
         btb: BtbSpec::Baseline1k,
@@ -228,7 +234,7 @@ fn l1i_size_job(workload: Workload, kb: usize, cfg: &ExperimentConfig) -> Covera
 /// Baseline BTB + SHIFT at an explicit stream lookahead depth. At the
 /// default depth (24) this is byte-for-byte the L1-I table's `+SHIFT`
 /// job.
-fn lookahead_job(workload: Workload, depth: usize, cfg: &ExperimentConfig) -> CoverageJob {
+pub fn lookahead_job(workload: Workload, depth: usize, cfg: &ExperimentConfig) -> CoverageJob {
     CoverageJob {
         workload,
         btb: BtbSpec::Baseline1k,
@@ -241,7 +247,7 @@ fn lookahead_job(workload: Workload, depth: usize, cfg: &ExperimentConfig) -> Co
 
 /// Figure 1's conventional-BTB geometry at an arbitrary capacity. At
 /// whole kilo-entry points this aliases Figure 1's sweep.
-fn capacity_job(workload: Workload, entries: usize, cfg: &ExperimentConfig) -> CoverageJob {
+pub fn capacity_job(workload: Workload, entries: usize, cfg: &ExperimentConfig) -> CoverageJob {
     CoverageJob {
         workload,
         btb: BtbSpec::Conventional {

@@ -1,0 +1,127 @@
+//! Spawn tests for strict argument parsing: every binary rejects
+//! unknown flags with exit code 2, the offending argument, and a usage
+//! line — a typo'd `--qiuck` must not silently run the full experiment
+//! it was trying to abbreviate. Malformed cache-cap environment
+//! variables get the same treatment from both knobs.
+//!
+//! These run the real release of each binary via `CARGO_BIN_EXE_*`, so
+//! they pin the end-to-end behaviour (argv → exit status → stderr), not
+//! just the parsing helper.
+
+use std::process::{Command, Output};
+
+fn run(exe: &str, args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(exe);
+    cmd.args(args);
+    // The suite's own store/connect env must not leak into the spawned
+    // binaries; tests set exactly what they mean to test.
+    for var in [
+        "CONFLUENCE_STORE",
+        "CONFLUENCE_STORE_CAP",
+        "CONFLUENCE_CONNECT",
+        "CONFLUENCE_MEMO_CAP",
+    ] {
+        cmd.env_remove(var);
+    }
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("binary spawns")
+}
+
+/// Asserts the rejection contract: exit 2, named offender, usage line.
+fn assert_rejects(exe: &str, args: &[&str], offender: &str) {
+    let out = run(exe, args, &[]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{exe} {args:?} must exit 2, stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains(&format!("unrecognized argument '{offender}'")),
+        "{exe} {args:?} must name the offender, stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "{exe} {args:?} must print usage, stderr: {stderr}"
+    );
+}
+
+#[test]
+fn figure_binaries_reject_typoed_flags() {
+    assert_rejects(env!("CARGO_BIN_EXE_fig1"), &["--qiuck"], "--qiuck");
+    assert_rejects(env!("CARGO_BIN_EXE_fig9"), &["--quick", "extra"], "extra");
+    // A switch given a value is not the switch.
+    assert_rejects(env!("CARGO_BIN_EXE_table2"), &["--quick=1"], "--quick=1");
+}
+
+#[test]
+fn batch_binaries_reject_typoed_flags() {
+    assert_rejects(
+        env!("CARGO_BIN_EXE_all_experiments"),
+        &["--qiuck"],
+        "--qiuck",
+    );
+    assert_rejects(
+        env!("CARGO_BIN_EXE_sweeps"),
+        &["--stduy", "history"],
+        "--stduy",
+    );
+    assert_rejects(env!("CARGO_BIN_EXE_timing_figs"), &["--sreial"], "--sreial");
+}
+
+#[test]
+fn pure_arithmetic_and_daemon_binaries_reject_typoed_flags() {
+    assert_rejects(env!("CARGO_BIN_EXE_area_table"), &["--csvv"], "--csvv");
+    assert_rejects(
+        env!("CARGO_BIN_EXE_confluence-serve"),
+        &[
+            "--socket",
+            "/tmp/confluence-cli-strict-unused.sock",
+            "--bogus",
+        ],
+        "--bogus",
+    );
+}
+
+#[test]
+fn well_formed_invocations_still_run() {
+    // area_table simulates nothing, so it doubles as the cheap positive
+    // control that strict parsing accepts the documented spellings.
+    let out = run(env!("CARGO_BIN_EXE_area_table"), &["--csv"], &[]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("structure,"));
+    let out = run(env!("CARGO_BIN_EXE_area_table"), &["--markdown"], &[]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("| structure |"));
+}
+
+#[test]
+fn malformed_cache_caps_exit_2_from_both_knobs() {
+    // The memo cap (compile-time memoization) and the store cap (disk
+    // store eviction) fail the same way: exit 2, named variable.
+    let out = run(
+        env!("CARGO_BIN_EXE_fig1"),
+        &["--quick"],
+        &[("CONFLUENCE_MEMO_CAP", "banana")],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("CONFLUENCE_MEMO_CAP") && stderr.contains("banana"),
+        "stderr must name the variable and value: {stderr}"
+    );
+
+    let out = run(
+        env!("CARGO_BIN_EXE_fig1"),
+        &["--quick"],
+        &[("CONFLUENCE_STORE_CAP", "banana")],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("CONFLUENCE_STORE_CAP"),
+        "stderr must name the variable: {stderr}"
+    );
+}

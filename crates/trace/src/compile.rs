@@ -52,9 +52,30 @@ pub const NO_FASTPATH_ENV: &str = "CONFLUENCE_NO_FASTPATH";
 
 /// Environment variable overriding the request-path memo budget: a total
 /// step count (the per-request cap keeps the default 8:1 ratio). Unset or
-/// empty keeps [`MemoCaps::DEFAULT`]; a malformed value warns and keeps
-/// the default rather than silently changing memo behaviour.
+/// empty keeps [`MemoCaps::DEFAULT`]; a malformed value is a typed
+/// [`MemoCapError`] from [`MemoCaps::try_from_env`] — the binaries
+/// validate at startup and exit 2, exactly like a malformed
+/// `CONFLUENCE_STORE_CAP`.
 pub const MEMO_CAP_ENV: &str = "CONFLUENCE_MEMO_CAP";
+
+/// A malformed [`MEMO_CAP_ENV`] value, carrying the rejected text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemoCapError {
+    /// The value that failed to parse as a step budget.
+    pub value: String,
+}
+
+impl std::fmt::Display for MemoCapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{MEMO_CAP_ENV} requires a positive step count of at most 2^30, got '{}'",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for MemoCapError {}
 
 /// Budgets of the request-path memo (see [`CompiledExecutor`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,15 +108,39 @@ impl MemoCaps {
         })
     }
 
+    /// [`MemoCaps::parse`] with a typed rejection instead of `None`.
+    pub fn validate(value: &str) -> Result<MemoCaps, MemoCapError> {
+        MemoCaps::parse(value).ok_or_else(|| MemoCapError {
+            value: value.to_string(),
+        })
+    }
+
+    /// The caps [`MEMO_CAP_ENV`] asks for, as a typed result — the
+    /// library-path half of cap-env handling. Unset or empty is the
+    /// default budget; malformed is an error the caller decides about
+    /// (the binaries validate in `parse_common` and exit 2).
+    pub fn try_from_env() -> Result<MemoCaps, MemoCapError> {
+        match std::env::var(MEMO_CAP_ENV) {
+            Ok(v) if !v.is_empty() => MemoCaps::validate(&v),
+            _ => Ok(MemoCaps::DEFAULT),
+        }
+    }
+
     /// The caps resolved from [`MEMO_CAP_ENV`], computed once per process.
+    ///
+    /// This sits deep in the execution path where no `Result` can
+    /// propagate, so a malformed value falls back to the default budget
+    /// with a warning — binaries never get here with one, because
+    /// `parse_common` calls [`MemoCaps::try_from_env`] at startup and
+    /// exits 2 first; the fallback only fires for embedders that skipped
+    /// that validation.
     pub fn from_env() -> MemoCaps {
         static CAPS: OnceLock<MemoCaps> = OnceLock::new();
-        *CAPS.get_or_init(|| match std::env::var(MEMO_CAP_ENV) {
-            Ok(v) if !v.is_empty() => MemoCaps::parse(&v).unwrap_or_else(|| {
-                eprintln!("warning: ignoring malformed {MEMO_CAP_ENV}='{v}' (want a step count)");
+        *CAPS.get_or_init(|| {
+            MemoCaps::try_from_env().unwrap_or_else(|e| {
+                eprintln!("warning: {e}; keeping the default memo budget");
                 MemoCaps::DEFAULT
-            }),
-            _ => MemoCaps::DEFAULT,
+            })
         })
     }
 }
@@ -1763,6 +1808,24 @@ mod tests {
         assert_eq!(MemoCaps::parse(&(1u64 << 31).to_string()), None);
         assert_eq!(MemoCaps::DEFAULT.steps, 1 << 16);
         assert_eq!(MemoCaps::DEFAULT.request_steps, 1 << 13);
+    }
+
+    #[test]
+    fn memo_caps_validate_is_typed() {
+        assert_eq!(MemoCaps::validate("512").ok(), MemoCaps::parse("512"));
+        let err = MemoCaps::validate("banana").unwrap_err();
+        assert_eq!(err.value, "banana");
+        let msg = err.to_string();
+        assert!(
+            msg.contains(MEMO_CAP_ENV) && msg.contains("'banana'"),
+            "error must name the variable and the rejected value: {msg}"
+        );
+        // Unset (or empty) env means the default budget, not an error.
+        // The test runner never sets the variable; guard anyway rather
+        // than mutate process-global env state under parallel tests.
+        if std::env::var_os(MEMO_CAP_ENV).is_none() {
+            assert_eq!(MemoCaps::try_from_env(), Ok(MemoCaps::DEFAULT));
+        }
     }
 
     #[test]

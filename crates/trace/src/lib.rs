@@ -38,8 +38,8 @@ mod spec;
 mod stats;
 
 pub use compile::{
-    CompiledExecutor, CompiledProgram, ExecMode, MemoCaps, MemoStats, MemoTable, RecordStream,
-    MEMO_CAP_ENV, NO_FASTPATH_ENV,
+    CompiledExecutor, CompiledProgram, ExecMode, MemoCapError, MemoCaps, MemoStats, MemoTable,
+    RecordStream, MEMO_CAP_ENV, NO_FASTPATH_ENV,
 };
 pub use exec::Executor;
 pub use program::{Program, ProgramStats};

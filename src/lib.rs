@@ -3,6 +3,7 @@ pub use confluence_area as area;
 pub use confluence_btb as btb;
 pub use confluence_core as core;
 pub use confluence_prefetch as prefetch;
+pub use confluence_search as search;
 pub use confluence_serve as serve;
 pub use confluence_sim as sim;
 pub use confluence_store as store;

@@ -1,0 +1,138 @@
+//! Golden harness for the design-space search subsystem.
+//!
+//! Every registered study is pinned two ways:
+//!
+//! 1. **Trajectory goldens** — the quick-mode, single-workload search
+//!    (seed 42) renders its trajectory, frontier, and answer to CSV and
+//!    is byte-compared against `tests/goldens/search-<study>.csv`. The
+//!    strategies are seeded and the simulators are pure functions of
+//!    their job keys, so the visited-point sequence — not just the final
+//!    answer — is stable across hosts. Regenerate deliberately with
+//!    `CONFLUENCE_REGOLD=1 cargo test` and review the diff.
+//! 2. **Warm-store re-run** — a fresh engine over the same store must
+//!    re-run every search with zero executed simulations and render
+//!    byte-identical reports, because search probes reuse the sweep
+//!    suite's content-keyed job constructors.
+
+use std::path::PathBuf;
+
+use confluence::search::{registry, run_search};
+use confluence::sim::{experiments::ExperimentConfig, SimEngine};
+use confluence::store::ResultStore;
+use confluence::trace::Workload;
+
+/// The workload the goldens pin (the first in presentation order).
+const GOLDEN_WORKLOAD: Workload = Workload::OltpDb2;
+
+/// Fixed seed: the goldens pin the exact visited-point sequence.
+const GOLDEN_SEED: u64 = 42;
+
+/// One workload keeps the harness fast; search objectives average over
+/// whatever workloads the engine holds, so this pins exactly the
+/// trajectory a single-workload run produces.
+fn golden_engine(cfg: &ExperimentConfig) -> SimEngine {
+    SimEngine::new(vec![(
+        GOLDEN_WORKLOAD,
+        cfg.workload_program(GOLDEN_WORKLOAD),
+    )])
+}
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+/// Compares `actual` against the committed golden, or rewrites it when
+/// `CONFLUENCE_REGOLD` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = goldens_dir().join(format!("{name}.csv"));
+    if std::env::var_os("CONFLUENCE_REGOLD").is_some() {
+        std::fs::create_dir_all(goldens_dir()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        expected, actual,
+        "golden mismatch for search study '{name}' — if the change is \
+         intentional, regenerate with CONFLUENCE_REGOLD=1 cargo test and \
+         review the diff"
+    );
+}
+
+/// A disposable store directory under the system temp dir.
+struct StoreDir(PathBuf);
+
+impl StoreDir {
+    fn new(tag: &str) -> StoreDir {
+        let path =
+            std::env::temp_dir().join(format!("confluence-search-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        StoreDir(path)
+    }
+
+    fn open(&self) -> ResultStore {
+        ResultStore::open(&self.0, confluence::sim::SCHEMA_VERSION).expect("temp dir writable")
+    }
+}
+
+impl Drop for StoreDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The three reports of one search, concatenated in render order — the
+/// unit the goldens pin.
+fn search_csv(
+    engine: &SimEngine,
+    cfg: &ExperimentConfig,
+    study: &confluence::search::Study,
+) -> String {
+    let outcome = run_search(engine, cfg, study, GOLDEN_SEED, |jobs| {
+        engine.run(jobs);
+    });
+    format!(
+        "{}\n{}\n{}",
+        outcome.trajectory.to_csv(),
+        outcome.frontier.to_csv(),
+        outcome.answer.to_csv()
+    )
+}
+
+/// The whole harness in one pass so every probe simulates once: cold
+/// searches → goldens; warm searches (fresh engine, same store) → zero
+/// executions, byte-identical reports.
+#[test]
+fn search_studies_match_goldens_and_rerun_warm_with_zero_simulations() {
+    let cfg = ExperimentConfig::quick();
+    let dir = StoreDir::new("golden");
+    let studies = registry();
+    assert!(studies.len() >= 3, "registry must name at least 3 studies");
+
+    let cold = golden_engine(&cfg).with_store(dir.open());
+    let mut cold_csv = Vec::new();
+    for study in &studies {
+        let csv = search_csv(&cold, &cfg, study);
+        check_golden(&format!("search-{}", study.name), &csv);
+        cold_csv.push(csv);
+    }
+    let cold_stats = cold.stats();
+    assert!(
+        cold_stats.executed > 0,
+        "cold searches must actually simulate"
+    );
+
+    // Warm re-run: a fresh engine (fresh process, in spirit) over the
+    // same store replays every search from disk. The strategies are
+    // deterministic, so they revisit exactly the persisted points.
+    let warm = golden_engine(&cfg).with_store(dir.open());
+    let warm_csv: Vec<String> = studies.iter().map(|s| search_csv(&warm, &cfg, s)).collect();
+    let stats = warm.stats();
+    assert_eq!(stats.executed, 0, "warm search must execute nothing");
+    assert_eq!(
+        stats.disk_hits, cold_stats.executed,
+        "every unique probe must come from disk"
+    );
+    assert_eq!(warm_csv, cold_csv, "warm reports must be byte-identical");
+}
