@@ -21,7 +21,8 @@ use confluence_sim::cli;
 
 const USAGE: &str = "search [--list] [--study NAME]... [--seed N] [--quick] \
      [--csv | --markdown] [--threads N] [--store-dir DIR | --no-store] \
-     [--store-cap-bytes N] [--no-warm-artifacts] [--no-fastpath] [--connect SOCK]";
+     [--store-cap-bytes N] [--peer SOCK]... [--peer-timeout-ms N] \
+     [--no-warm-artifacts] [--no-fastpath] [--connect SOCK]";
 
 /// The `--seed N` / `--seed=N` value, defaulting to 42. Exits with
 /// status 2 on a malformed value.

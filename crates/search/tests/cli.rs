@@ -12,6 +12,7 @@ fn run(args: &[&str]) -> Output {
         "CONFLUENCE_STORE_CAP",
         "CONFLUENCE_CONNECT",
         "CONFLUENCE_MEMO_CAP",
+        "CONFLUENCE_PEER",
     ] {
         cmd.env_remove(var);
     }
@@ -24,6 +25,7 @@ fn unknown_flags_exit_2_with_usage() {
         (vec!["--qiuck"], "--qiuck"),
         (vec!["--study", "ipc-per-mm2", "--sede", "7"], "--sede"),
         (vec!["--quick", "stray"], "stray"),
+        (vec!["--perr", "/tmp/x.sock"], "--perr"),
     ] {
         let out = run(&args);
         let stderr = String::from_utf8_lossy(&out.stderr);
@@ -61,4 +63,23 @@ fn bad_study_and_seed_values_exit_2() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert_eq!(out.status.code(), Some(2), "{stderr}");
     assert!(stderr.contains("--seed"), "{stderr}");
+}
+
+#[test]
+fn peer_flags_hit_the_shared_gates() {
+    // Missing value: exit 2 naming the flag.
+    let out = run(&["--quick", "--peer"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "{stderr}");
+    assert!(stderr.contains("--peer requires a socket path"), "{stderr}");
+
+    // Peers without a store to promote into: the same exit-2 gate as
+    // every other binary.
+    let out = run(&["--quick", "--no-store", "--peer", "/tmp/x.sock"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "{stderr}");
+    assert!(
+        stderr.contains("--peer requires a persistent store"),
+        "{stderr}"
+    );
 }

@@ -1,9 +1,14 @@
 //! The blocking client: handshake once, submit batches, collect
-//! streamed results back into submission order.
+//! streamed results back into submission order. Also the peer-facing
+//! side of the remote warm tier: [`Client::fetch`] asks a daemon for a
+//! whole batch of raw store entries in one round trip.
 
 use std::io;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
+
+use confluence_store::Tier;
 
 use crate::protocol::{self, BatchStats, ErrorCode, Frame, RecvError, PROTO_VERSION};
 
@@ -86,7 +91,35 @@ impl Client {
         schema: u32,
         fingerprint: u64,
     ) -> Result<Self, ClientError> {
-        let mut stream = UnixStream::connect(path)?;
+        Self::handshake(UnixStream::connect(path)?, schema, fingerprint)
+    }
+
+    /// As [`Client::connect`], but with `timeout` applied to every read
+    /// and write on the stream — the peer-facing form: a dead or wedged
+    /// peer daemon surfaces as a timed-out [`ClientError::Io`] the
+    /// caller demotes to a miss, instead of hanging the batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::connect`], plus `WouldBlock`/`TimedOut` I/O errors
+    /// when the peer exceeds `timeout`.
+    pub fn connect_with_timeout(
+        path: impl AsRef<Path>,
+        schema: u32,
+        fingerprint: u64,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        let stream = UnixStream::connect(path)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Self::handshake(stream, schema, fingerprint)
+    }
+
+    fn handshake(
+        mut stream: UnixStream,
+        schema: u32,
+        fingerprint: u64,
+    ) -> Result<Self, ClientError> {
         let hello = Frame::Hello {
             proto: PROTO_VERSION,
             schema,
@@ -157,6 +190,69 @@ impl Client {
                 other => {
                     return Err(ClientError::Protocol(format!(
                         "unexpected frame mid-batch: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Asks the daemon for a whole batch of raw store entries in `tier`
+    /// — **one round trip** for any number of keys. Returns one slot
+    /// per key, index-aligned: the raw entry bytes on a hit (which the
+    /// caller must re-verify via `ResultStore::adopt_raw` before
+    /// trusting), `None` on a miss. `ttl` bounds how many further peer
+    /// hops the daemon may take on this client's behalf.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Daemon`] carries the daemon's typed refusal — in
+    /// particular a v1 daemon's `MalformedFrame` for the unknown tag;
+    /// transport and protocol violations as their variants describe.
+    pub fn fetch(
+        &mut self,
+        tier: Tier,
+        ttl: u32,
+        keys: Vec<Vec<u8>>,
+    ) -> Result<Vec<Option<Vec<u8>>>, ClientError> {
+        let count = keys.len();
+        let frame = match tier {
+            Tier::Result => Frame::FetchResults { ttl, keys },
+            Tier::Artifact => Frame::FetchArtifacts { ttl, keys },
+        };
+        protocol::send(&mut self.stream, &frame)?;
+
+        let mut entries: Vec<Option<Vec<u8>>> = vec![None; count];
+        let mut filled = 0u32;
+        loop {
+            match protocol::recv(&mut self.stream)? {
+                Frame::FetchHit { idx, entry } => {
+                    let slot = entries.get_mut(idx as usize).ok_or_else(|| {
+                        ClientError::Protocol(format!(
+                            "fetch hit index {idx} out of range for {count} keys"
+                        ))
+                    })?;
+                    if slot.replace(entry).is_some() {
+                        return Err(ClientError::Protocol(format!(
+                            "duplicate fetch hit for key {idx}"
+                        )));
+                    }
+                    filled += 1;
+                }
+                Frame::FetchDone { hits, misses } => {
+                    if hits != filled || (hits as usize) + (misses as usize) != count {
+                        return Err(ClientError::Protocol(format!(
+                            "FetchDone claims {hits} hits / {misses} misses \
+                             after {filled} hits of {count} keys"
+                        )));
+                    }
+                    return Ok(entries);
+                }
+                Frame::Error { code, message } => {
+                    return Err(ClientError::Daemon { code, message });
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected frame mid-fetch: {other:?}"
                     )));
                 }
             }

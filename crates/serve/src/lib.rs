@@ -43,6 +43,8 @@ pub mod server;
 
 #[cfg(unix)]
 pub use client::{BatchReply, Client, ClientError};
-pub use protocol::{BatchStats, ErrorCode, Frame, StoreLine, MAX_FRAME_LEN, PROTO_VERSION};
+pub use protocol::{
+    BatchStats, ErrorCode, Frame, StoreLine, FETCH_HOP_LIMIT, MAX_FRAME_LEN, PROTO_VERSION,
+};
 #[cfg(unix)]
 pub use server::{BatchHost, Rejection, Server, ServerHandle};

@@ -33,6 +33,14 @@ use confluence_store::{Decode, Encode, Reader, WireError};
 /// clients with [`ErrorCode::ProtoMismatch`] instead of misparsing.
 pub const PROTO_VERSION: u32 = 1;
 
+/// Upper bound on peer-forwarding depth for the remote warm tier. A
+/// fetch request carries a `ttl`; a daemon holding a miss consults its
+/// own peers only while `ttl > 0`, forwarding with `ttl - 1`, and the
+/// server clamps inbound values here — so a ring of mutually-peered
+/// daemons always terminates with a miss instead of recursing, whatever
+/// a client claims.
+pub const FETCH_HOP_LIMIT: u32 = 3;
+
 /// Upper bound on one frame's payload. Generous: the quick suite's
 /// whole job batch is a few kilobytes and the largest result (a
 /// many-core timing run) a few hundred bytes; the cap exists so a
@@ -165,6 +173,13 @@ pub struct BatchStats {
     /// The daemon's store occupancy at batch end, if a store is
     /// attached.
     pub store: Option<StoreLine>,
+    /// Entries promoted from remote peers during the batch (delta).
+    pub remote_hits: u64,
+    /// Batched fetch exchanges with peers during the batch (delta) —
+    /// the figure the one-round-trip-per-batch contract is asserted on.
+    pub remote_round_trips: u64,
+    /// Raw entry bytes fetched from peers during the batch (delta).
+    pub remote_bytes: u64,
 }
 
 impl Encode for BatchStats {
@@ -185,6 +200,15 @@ impl Encode for BatchStats {
                 line.encode(out);
             }
         }
+        // Remote-tier counters ride a default-invisible tail extension
+        // (the PR 5 codec pattern): a batch with no remote traffic
+        // encodes exactly the v1 bytes, so the goldens stay green and
+        // old clients parse new daemons whenever no peer was consulted.
+        if self.remote_hits != 0 || self.remote_round_trips != 0 || self.remote_bytes != 0 {
+            self.remote_hits.encode(out);
+            self.remote_round_trips.encode(out);
+            self.remote_bytes.encode(out);
+        }
     }
 }
 
@@ -201,6 +225,9 @@ impl Decode for BatchStats {
             memo_tables: Decode::decode(r)?,
             memo_steps: Decode::decode(r)?,
             store: None,
+            remote_hits: 0,
+            remote_round_trips: 0,
+            remote_bytes: 0,
         };
         let offset = r.offset();
         match r.u8()? {
@@ -212,6 +239,12 @@ impl Decode for BatchStats {
                     reason: "invalid store-line presence byte",
                 })
             }
+        }
+        // Tail extension: absent on v1 writers and remote-quiet batches.
+        if !r.is_empty() {
+            stats.remote_hits = Decode::decode(r)?;
+            stats.remote_round_trips = Decode::decode(r)?;
+            stats.remote_bytes = Decode::decode(r)?;
         }
         Ok(stats)
     }
@@ -273,6 +306,50 @@ pub enum Frame {
         /// Human-readable detail.
         message: String,
     },
+    /// Client/peer → server: batched lookup of raw result-tier store
+    /// entries — the remote warm tier's read path. One frame carries
+    /// *every* key a batch missed locally, so a cold batch costs one
+    /// round trip, not one per job. Answered by a stream of
+    /// [`Frame::FetchHit`]s (hits only, in no particular order) closed
+    /// by one [`Frame::FetchDone`]. A v1 daemon answers the unknown tag
+    /// with a typed [`ErrorCode::MalformedFrame`] — the version refusal
+    /// that lets old and new daemons coexist on one socket directory.
+    FetchResults {
+        /// Remaining peer-forwarding hops. A server holding a miss may
+        /// consult its own peers only when `ttl > 0`, forwarding with
+        /// `ttl - 1` — so mutually-peered daemons terminate with a miss
+        /// instead of recursing.
+        ttl: u32,
+        /// Encoded store keys (the store's key bytes, not job payloads),
+        /// in request order; hits refer to this vector by index.
+        keys: Vec<Vec<u8>>,
+    },
+    /// Client/peer → server: as [`Frame::FetchResults`], against the
+    /// warm-artifact tier.
+    FetchArtifacts {
+        /// As [`Frame::FetchResults::ttl`].
+        ttl: u32,
+        /// As [`Frame::FetchResults::keys`].
+        keys: Vec<Vec<u8>>,
+    },
+    /// Server → client/peer: one fetched entry — the *entire verified
+    /// store entry file*, container framing included, which the receiver
+    /// re-verifies byte-for-byte before adopting (a lying peer demotes
+    /// to a miss, never poisons).
+    FetchHit {
+        /// Index into the requesting fetch frame's key vector.
+        idx: u32,
+        /// The raw store entry bytes.
+        entry: Vec<u8>,
+    },
+    /// Server → client/peer: the fetch is fully answered; every key not
+    /// named by a preceding [`Frame::FetchHit`] is a miss.
+    FetchDone {
+        /// Keys answered with a [`Frame::FetchHit`].
+        hits: u32,
+        /// Keys the server (and, within `ttl`, its peers) did not hold.
+        misses: u32,
+    },
 }
 
 impl Encode for Frame {
@@ -316,8 +393,44 @@ impl Encode for Frame {
                 out.push(code.tag());
                 message.encode(out);
             }
+            Frame::FetchResults { ttl, keys } => encode_fetch(out, 6, *ttl, keys),
+            Frame::FetchArtifacts { ttl, keys } => encode_fetch(out, 7, *ttl, keys),
+            Frame::FetchHit { idx, entry } => {
+                out.push(8);
+                idx.encode(out);
+                wire::put_length_prefixed(out, entry);
+            }
+            Frame::FetchDone { hits, misses } => {
+                out.push(9);
+                hits.encode(out);
+                misses.encode(out);
+            }
         }
     }
+}
+
+fn encode_fetch(out: &mut Vec<u8>, tag: u8, ttl: u32, keys: &[Vec<u8>]) {
+    out.push(tag);
+    ttl.encode(out);
+    wire::put_usize(out, keys.len());
+    for key in keys {
+        wire::put_length_prefixed(out, key);
+    }
+}
+
+/// Decodes the shared tail of the two fetch-request frames, with the
+/// same allocation guard as [`Frame::SubmitBatch`]'s job vector.
+fn decode_fetch(r: &mut Reader<'_>) -> Result<(u32, Vec<Vec<u8>>), WireError> {
+    let ttl = Decode::decode(r)?;
+    let count = r.usize_varint()?;
+    if count > r.remaining() {
+        return Err(r.error("key count exceeds buffer"));
+    }
+    let mut keys = Vec::with_capacity(count);
+    for _ in 0..count {
+        keys.push(r.length_prefixed()?.to_vec());
+    }
+    Ok((ttl, keys))
 }
 
 impl Decode for Frame {
@@ -364,6 +477,22 @@ impl Decode for Frame {
                     message: Decode::decode(r)?,
                 }
             }
+            6 => {
+                let (ttl, keys) = decode_fetch(r)?;
+                Frame::FetchResults { ttl, keys }
+            }
+            7 => {
+                let (ttl, keys) = decode_fetch(r)?;
+                Frame::FetchArtifacts { ttl, keys }
+            }
+            8 => Frame::FetchHit {
+                idx: Decode::decode(r)?,
+                entry: r.length_prefixed()?.to_vec(),
+            },
+            9 => Frame::FetchDone {
+                hits: Decode::decode(r)?,
+                misses: Decode::decode(r)?,
+            },
             _ => {
                 return Err(WireError {
                     offset,
@@ -452,6 +581,7 @@ mod tests {
                 artifacts: 5,
                 artifact_bytes: 9000,
             }),
+            ..BatchStats::default()
         }
     }
 
@@ -486,6 +616,28 @@ mod tests {
                 code: ErrorCode::SchemaMismatch,
                 message: "daemon speaks schema v2".to_string(),
             },
+            Frame::BatchDone {
+                batch_id: 3,
+                stats: BatchStats {
+                    remote_hits: 12,
+                    remote_round_trips: 1,
+                    remote_bytes: 2200,
+                    ..sample_stats()
+                },
+            },
+            Frame::FetchResults {
+                ttl: 3,
+                keys: vec![vec![0x01, 0x02], vec![], vec![0xFE]],
+            },
+            Frame::FetchArtifacts {
+                ttl: 0,
+                keys: vec![vec![0x42; 9]],
+            },
+            Frame::FetchHit {
+                idx: 2,
+                entry: vec![0x43, 0x46, 0x52, 0x53, 0x01],
+            },
+            Frame::FetchDone { hits: 2, misses: 1 },
         ]
     }
 
@@ -554,6 +706,7 @@ mod tests {
                 memo_tables: 128,
                 memo_steps: 1000,
                 store: None,
+                ..BatchStats::default()
             },
         };
         assert_eq!(hex(&done.to_bytes()), "040102010100008001008001e80700");
@@ -563,6 +716,76 @@ mod tests {
             message: "bad".to_string(),
         };
         assert_eq!(hex(&err.to_bytes()), "050403626164");
+    }
+
+    /// Golden bytes for the remote-warm-tier fetch frames (tags 6–9) and
+    /// the remote-counter tail of [`BatchStats`]. The tail is
+    /// default-invisible: a remote-quiet stats block encodes exactly the
+    /// v1 bytes (pinned above), so these pins are additive and the v1
+    /// goldens never move.
+    #[test]
+    fn golden_bytes_pin_fetch_frames() {
+        let fetch = Frame::FetchResults {
+            ttl: 3,
+            keys: vec![vec![0xAA, 0xBB], vec![0xCC]],
+        };
+        assert_eq!(hex(&fetch.to_bytes()), "06030202aabb01cc");
+
+        let fetch_art = Frame::FetchArtifacts {
+            ttl: 0,
+            keys: vec![vec![0xDD]],
+        };
+        assert_eq!(hex(&fetch_art.to_bytes()), "07000101dd");
+
+        let hit = Frame::FetchHit {
+            idx: 5,
+            entry: vec![0x11, 0x22, 0x33],
+        };
+        assert_eq!(hex(&hit.to_bytes()), "080503112233");
+
+        let done = Frame::FetchDone { hits: 2, misses: 1 };
+        assert_eq!(hex(&done.to_bytes()), "090201");
+
+        let stats = BatchStats {
+            requests: 2,
+            disk_hits: 2,
+            remote_hits: 2,
+            remote_round_trips: 1,
+            remote_bytes: 300,
+            ..BatchStats::default()
+        };
+        assert_eq!(
+            hex(&stats.to_bytes()),
+            "0200000200000000000002 01 ac02".replace(' ', "")
+        );
+    }
+
+    /// A remote-quiet [`BatchStats`] must encode byte-identically to v1
+    /// — the default-invisible half of the tail-extension contract — and
+    /// a truncated (v1-written) stats block must decode with zeroed
+    /// remote counters.
+    #[test]
+    fn remote_counter_tail_is_default_invisible() {
+        let quiet = sample_stats();
+        let bytes = quiet.to_bytes();
+        let extended = BatchStats {
+            remote_hits: 7,
+            remote_round_trips: 2,
+            remote_bytes: 900,
+            ..sample_stats()
+        };
+        assert_eq!(
+            &extended.to_bytes()[..bytes.len()],
+            &bytes[..],
+            "the tail must extend, not reshape, the v1 encoding"
+        );
+        let decoded = BatchStats::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, quiet);
+        assert_eq!(decoded.remote_hits, 0);
+        assert_eq!(
+            BatchStats::from_bytes(&extended.to_bytes()).unwrap(),
+            extended
+        );
     }
 
     /// Every truncation of every frame decodes to a typed error, never a
@@ -613,7 +836,12 @@ mod tests {
 
     #[test]
     fn unknown_tags_error_with_offsets() {
-        assert_eq!(Frame::from_bytes(&[9]).unwrap_err().offset, 0);
+        assert_eq!(Frame::from_bytes(&[10]).unwrap_err().offset, 0);
+        assert_eq!(
+            Frame::from_bytes(&[10]).unwrap_err().reason,
+            "unknown frame tag",
+            "a v1 daemon refuses fetch-era tags typed, never panics"
+        );
         assert_eq!(
             Frame::from_bytes(&[5, 99, 0]).unwrap_err().reason,
             "unknown error-code tag"
@@ -635,5 +863,18 @@ mod tests {
             Frame::from_bytes(&bytes).unwrap_err().reason,
             "job count exceeds buffer"
         );
+    }
+
+    #[test]
+    fn garbled_fetch_key_count_is_rejected_without_allocating() {
+        for tag in [6u8, 7] {
+            let mut bytes = vec![tag];
+            wire::put_varint(&mut bytes, 3); // ttl
+            wire::put_varint(&mut bytes, u64::MAX / 2); // insane key count
+            assert_eq!(
+                Frame::from_bytes(&bytes).unwrap_err().reason,
+                "key count exceeds buffer"
+            );
+        }
     }
 }

@@ -26,7 +26,11 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
-use crate::protocol::{self, BatchStats, ErrorCode, Frame, RecvError, PROTO_VERSION};
+use confluence_store::Tier;
+
+use crate::protocol::{
+    self, BatchStats, ErrorCode, Frame, RecvError, FETCH_HOP_LIMIT, PROTO_VERSION,
+};
 
 /// How often the accept loop checks its stop flag while idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
@@ -92,6 +96,26 @@ pub trait BatchHost: Send + Sync + 'static {
     /// A [`Rejection`] aborts the batch: the client gets a typed error
     /// frame instead of a `BatchDone`.
     fn run_job(&self, job: &[u8]) -> Result<Vec<u8>, Rejection>;
+
+    /// Called once per submitted batch, before any job runs (and after
+    /// [`BatchHost::snapshot`], so whatever it does lands in the batch's
+    /// accounting window). The remote warm tier lives here: a peered
+    /// host collects the batch's local misses and fetches them from its
+    /// peers in one batched round trip. The default does nothing.
+    fn prepare_batch(&self, jobs: &[Vec<u8>]) {
+        let _ = jobs;
+    }
+
+    /// Answers one batched fetch from a peer (or a daemonless client):
+    /// for each encoded store key, the raw verified entry bytes from
+    /// this host's store in `tier`, or `None` for a miss. With `ttl > 0`
+    /// the host may consult its own peers (forwarding `ttl - 1`) before
+    /// conceding a miss. Must return exactly `keys.len()` slots. The
+    /// default — a host with no store — misses everything.
+    fn fetch_batch(&self, tier: Tier, ttl: u32, keys: &[Vec<u8>]) -> Vec<Option<Vec<u8>>> {
+        let _ = (tier, ttl);
+        vec![None; keys.len()]
+    }
 
     /// Captures accounting state before a batch begins.
     fn snapshot(&self) -> Self::Snapshot;
@@ -297,6 +321,16 @@ fn handle_connection<H: BatchHost>(mut stream: UnixStream, host: &H) {
                     return;
                 }
             }
+            Ok(Frame::FetchResults { ttl, keys }) => {
+                if !serve_fetch(&mut stream, host, Tier::Result, ttl, &keys) {
+                    return;
+                }
+            }
+            Ok(Frame::FetchArtifacts { ttl, keys }) => {
+                if !serve_fetch(&mut stream, host, Tier::Artifact, ttl, &keys) {
+                    return;
+                }
+            }
             Ok(_) => {
                 return refuse(
                     &mut stream,
@@ -314,6 +348,42 @@ fn handle_connection<H: BatchHost>(mut stream: UnixStream, host: &H) {
     }
 }
 
+/// Answers one batched fetch: streams a [`Frame::FetchHit`] per key the
+/// host holds, then one [`Frame::FetchDone`]. Returns `false` if the
+/// connection should close (transport failure or a host that broke the
+/// one-slot-per-key contract).
+fn serve_fetch<H: BatchHost>(
+    stream: &mut UnixStream,
+    host: &H,
+    tier: Tier,
+    ttl: u32,
+    keys: &[Vec<u8>],
+) -> bool {
+    let entries = host.fetch_batch(tier, ttl.min(FETCH_HOP_LIMIT), keys);
+    if entries.len() != keys.len() {
+        refuse(
+            stream,
+            ErrorCode::JobFailed,
+            format!("fetch answered {} of {} keys", entries.len(), keys.len()),
+        );
+        return false;
+    }
+    let mut hits: u32 = 0;
+    for (idx, entry) in entries.into_iter().enumerate() {
+        if let Some(entry) = entry {
+            hits += 1;
+            #[allow(clippy::cast_possible_truncation)]
+            let idx = idx as u32;
+            if protocol::send(stream, &Frame::FetchHit { idx, entry }).is_err() {
+                return false;
+            }
+        }
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    let misses = keys.len() as u32 - hits;
+    protocol::send(stream, &Frame::FetchDone { hits, misses }).is_ok()
+}
+
 /// Runs one batch and streams its results. Returns `false` if the
 /// connection should close (transport failure or a rejected job).
 fn serve_batch<H: BatchHost>(
@@ -323,6 +393,7 @@ fn serve_batch<H: BatchHost>(
     jobs: &[Vec<u8>],
 ) -> bool {
     let before = host.snapshot();
+    host.prepare_batch(jobs);
 
     // Most-expensive-first claim order, same policy as the engine's own
     // scheduler: long poles start immediately instead of queueing

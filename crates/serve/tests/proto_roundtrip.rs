@@ -37,15 +37,20 @@ fn arb_stats() -> impl Strategy<Value = BatchStats> {
     (
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>()),
-        (any::<u64>(), any::<u64>()),
-        prop::option::of(arb_store_line()),
+        (
+            (any::<u64>(), any::<u64>()),
+            prop::option::of(arb_store_line()),
+        ),
+        // Often all-zero, so the conditional remote tail exercises both
+        // its omitted (v1-identical) and appended encodings.
+        (0u64..3, 0u64..3, 0u64..1000),
     )
         .prop_map(
             |(
                 (requests, executed, hits, disk_hits),
                 (memo_replayed, memo_recorded, memo_live),
-                (memo_tables, memo_steps),
-                store,
+                ((memo_tables, memo_steps), store),
+                (remote_hits, remote_round_trips, remote_bytes),
             )| BatchStats {
                 requests,
                 executed,
@@ -57,6 +62,9 @@ fn arb_stats() -> impl Strategy<Value = BatchStats> {
                 memo_tables,
                 memo_steps,
                 store,
+                remote_hits,
+                remote_round_trips,
+                remote_bytes,
             },
         )
 }
@@ -94,6 +102,12 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 message: msg.into_iter().map(|b| (b % 94 + 33) as char).collect(),
             }
         }),
+        (0u32..8, prop::collection::vec(arb_blob(), 0..6))
+            .prop_map(|(ttl, keys)| Frame::FetchResults { ttl, keys }),
+        (0u32..8, prop::collection::vec(arb_blob(), 0..6))
+            .prop_map(|(ttl, keys)| Frame::FetchArtifacts { ttl, keys }),
+        (any::<u32>(), arb_blob()).prop_map(|(idx, entry)| Frame::FetchHit { idx, entry }),
+        (any::<u32>(), any::<u32>()).prop_map(|(hits, misses)| Frame::FetchDone { hits, misses }),
     ]
 }
 

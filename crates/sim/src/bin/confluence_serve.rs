@@ -11,7 +11,16 @@
 //!
 //! Usage: `confluence-serve --socket PATH [--quick] [--threads N]
 //! [--store-dir DIR | --no-store] [--store-cap-bytes N]
+//! [--peer SOCK]... [--peer-timeout-ms N]
 //! [--no-warm-artifacts] [--no-fastpath]`
+//!
+//! `--peer SOCK` (repeatable) names other daemons forming a **remote
+//! warm tier**: a key that misses this daemon's memory and disk is
+//! fetched from the peers in one batched round trip, re-verified
+//! byte-for-byte, promoted into the local store, and served — so a
+//! fleet of daemons shares warmth without sharing a filesystem. A dead
+//! peer degrades to local simulation; see README "The remote warm
+//! tier".
 //!
 //! The scale flags (`--quick` vs full) fix the workload configuration
 //! for the daemon's lifetime; clients built over a different
@@ -43,9 +52,17 @@ fn main() {
             "--no-warm-artifacts",
             "--no-fastpath",
         ],
-        &["--socket", "--threads", "--store-dir", "--store-cap-bytes"],
+        &[
+            "--socket",
+            "--threads",
+            "--store-dir",
+            "--store-cap-bytes",
+            "--peer",
+            "--peer-timeout-ms",
+        ],
         "confluence-serve --socket PATH [--quick] [--threads N] \
          [--store-dir DIR | --no-store] [--store-cap-bytes N] \
+         [--peer SOCK]... [--peer-timeout-ms N] \
          [--no-warm-artifacts] [--no-fastpath]",
     );
     let flags = cli::parse_common(&args);
@@ -61,6 +78,18 @@ fn main() {
         Some(s) => format!("store {}", s.root().display()),
         None => "store disabled".to_string(),
     };
+    let peers = match engine.peers() {
+        Some(p) => format!(
+            ", {} peer(s) [{}]",
+            p.sockets().len(),
+            p.sockets()
+                .iter()
+                .map(|s| s.display().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        None => String::new(),
+    };
     let host = Arc::new(EngineHost::new(engine, cli::store_cap_from_args(&args)));
 
     let server = match Server::bind(&socket, Arc::clone(&host)) {
@@ -72,7 +101,7 @@ fn main() {
     };
     eprintln!(
         "confluence-serve: listening on {} ({} mode, schema v{}, config {:016x}, \
-         {} thread(s), {store})",
+         {} thread(s), {store}{peers})",
         socket.display(),
         if flags.quick { "quick" } else { "full" },
         confluence_sim::SCHEMA_VERSION,

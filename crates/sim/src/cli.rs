@@ -42,6 +42,10 @@ pub const STORE_CAP_ENV: &str = "CONFLUENCE_STORE_CAP";
 /// `--connect` mode.
 pub const CONNECT_ENV: &str = "CONFLUENCE_CONNECT";
 
+/// Environment variable naming default peer sockets for the remote warm
+/// tier (comma-separated, same order as repeated `--peer` flags).
+pub const PEER_ENV: &str = "CONFLUENCE_PEER";
+
 /// The boolean flags every engine-running binary accepts (the shared
 /// half of each binary's known-flag table — see [`reject_unknown_args`]).
 pub const COMMON_SWITCHES: &[&str] = &[
@@ -54,7 +58,13 @@ pub const COMMON_SWITCHES: &[&str] = &[
 ];
 
 /// The value-taking flags every engine-running binary accepts.
-pub const COMMON_VALUE_FLAGS: &[&str] = &["--threads", "--store-dir", "--store-cap-bytes"];
+pub const COMMON_VALUE_FLAGS: &[&str] = &[
+    "--threads",
+    "--store-dir",
+    "--store-cap-bytes",
+    "--peer",
+    "--peer-timeout-ms",
+];
 
 /// Everything on the command line that is not in the known-flag tables,
 /// in argument order: unknown `--flags`, known switches spelled with a
@@ -110,6 +120,7 @@ pub fn reject_unknown_args(args: &[String], switches: &[&str], value_flags: &[&s
 /// [`run_figure`]); batch binaries append their extras to it.
 pub const FIGURE_USAGE_TAIL: &str = "[--quick] [--csv | --markdown] [--threads N] \
      [--store-dir DIR | --no-store] [--store-cap-bytes N] \
+     [--peer SOCK]... [--peer-timeout-ms N] \
      [--no-warm-artifacts] [--no-fastpath]";
 
 /// The value of `--flag V` or `--flag=V` on the command line, else the
@@ -139,6 +150,53 @@ fn flag_value(args: &[String], flag: &str, what: &str, env: Option<&str>) -> Opt
     env.and_then(std::env::var_os)
         .filter(|v| !v.is_empty())
         .and_then(|v| v.into_string().ok())
+}
+
+/// Every value of a **repeatable** `--flag V` / `--flag=V`, in command
+/// line order; when the flag never appears, the `env` fallback split on
+/// commas. Exits with status 2 on any occurrence without a usable value
+/// — a silently dropped peer would quietly turn a fleet-warm run cold.
+fn flag_values(args: &[String], flag: &str, what: &str, env: Option<&str>) -> Vec<String> {
+    let eq_form = format!("{flag}=");
+    let mut values = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        let arg = &args[i];
+        i += 1;
+        if let Some(v) = arg.strip_prefix(eq_form.as_str()) {
+            if v.is_empty() {
+                eprintln!("error: {flag} requires {what}");
+                std::process::exit(2);
+            }
+            values.push(v.to_string());
+        } else if arg == flag {
+            match args.get(i) {
+                Some(v) if !v.starts_with("--") => {
+                    values.push(v.clone());
+                    i += 1;
+                }
+                _ => {
+                    eprintln!("error: {flag} requires {what}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    if values.is_empty() {
+        if let Some(list) = env
+            .and_then(std::env::var_os)
+            .filter(|v| !v.is_empty())
+            .and_then(|v| v.into_string().ok())
+        {
+            values.extend(
+                list.split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from),
+            );
+        }
+    }
+    values
 }
 
 /// The execution mode the given command line asks for: `--no-fastpath`
@@ -179,6 +237,39 @@ pub fn socket_from_args(args: &[String]) -> Option<PathBuf> {
     flag_value(args, "--socket", "a socket path", None).map(PathBuf::from)
 }
 
+/// The per-peer I/O timeout the command line asks for
+/// (`--peer-timeout-ms`), defaulting to
+/// [`DEFAULT_PEER_TIMEOUT`](crate::peers::DEFAULT_PEER_TIMEOUT).
+/// Exits with status 2 on a malformed value.
+pub fn peer_timeout_from_args(args: &[String]) -> Duration {
+    match flag_value(args, "--peer-timeout-ms", "a millisecond count", None) {
+        Some(v) => Duration::from_millis(v.parse::<u64>().unwrap_or_else(|_| {
+            eprintln!("error: --peer-timeout-ms requires a millisecond count, got '{v}'");
+            std::process::exit(2);
+        })),
+        None => crate::peers::DEFAULT_PEER_TIMEOUT,
+    }
+}
+
+/// The remote warm tier the command line asks for: every `--peer SOCK`
+/// (repeatable, consulted in order), else the comma-separated
+/// [`PEER_ENV`] fallback. Returns `None` when no peers are named. Exits
+/// with status 2 on a `--peer` without a value or a malformed
+/// `--peer-timeout-ms`.
+pub fn peers_from_args(args: &[String]) -> Option<crate::peers::PeerSet> {
+    let sockets: Vec<PathBuf> = flag_values(args, "--peer", "a socket path", Some(PEER_ENV))
+        .into_iter()
+        .map(PathBuf::from)
+        .collect();
+    if sockets.is_empty() {
+        return None;
+    }
+    Some(crate::peers::PeerSet::new(
+        sockets,
+        peer_timeout_from_args(args),
+    ))
+}
+
 /// Whether the command line leaves the store's warm-artifact tier on:
 /// `--no-warm-artifacts` turns it off, everything else defers to the
 /// engine's environment-resolved default.
@@ -194,11 +285,17 @@ pub fn warm_artifacts_from_args(args: &[String]) -> bool {
 pub fn attach_store(engine: SimEngine, args: &[String]) -> SimEngine {
     // In connect mode persistence belongs to the daemon: jobs never
     // execute locally, so a local store would only record nothing and
-    // confuse the accounting.
+    // confuse the accounting. The same goes for peers — read-through
+    // happens on whichever engine executes, which is the daemon's.
     if connect_from_args(args).is_some() {
         if store_dir_from_args(args).is_some() {
             eprintln!(
                 "note: --connect routes jobs to the daemon's store; ignoring the local store"
+            );
+        }
+        if peers_from_args(args).is_some() {
+            eprintln!(
+                "note: --connect routes jobs to the daemon; pass --peer to the daemon instead"
             );
         }
         return engine;
@@ -208,7 +305,7 @@ pub fn attach_store(engine: SimEngine, args: &[String]) -> SimEngine {
     } else {
         engine.with_warm_artifacts(false)
     };
-    match store_dir_from_args(args) {
+    let engine = match store_dir_from_args(args) {
         Some(dir) => match ResultStore::open(&dir, SCHEMA_VERSION) {
             Ok(store) => engine.with_store(store),
             Err(e) => {
@@ -216,6 +313,23 @@ pub fn attach_store(engine: SimEngine, args: &[String]) -> SimEngine {
                 std::process::exit(2);
             }
         },
+        None => engine,
+    };
+    match peers_from_args(args) {
+        Some(peers) => {
+            // Fetched entries are promoted into the local store before
+            // they serve — that write-through is what makes a lying
+            // peer recoverable (adopt re-verifies every byte) and what
+            // keeps repeat runs local. No store, nowhere to promote.
+            if engine.store().is_none() {
+                eprintln!(
+                    "error: --peer requires a persistent store to promote fetched entries \
+                     into; pass --store-dir DIR (or set {STORE_ENV})"
+                );
+                std::process::exit(2);
+            }
+            engine.with_peers(peers)
+        }
         None => engine,
     }
 }
@@ -623,6 +737,9 @@ pub fn daemon_cache_summary(stats: &confluence_serve::BatchStats) -> String {
         executed: stats.executed,
         hits: stats.hits,
         disk_hits: stats.disk_hits,
+        remote_hits: stats.remote_hits,
+        remote_round_trips: stats.remote_round_trips,
+        remote_bytes: stats.remote_bytes,
     };
     summary_line(
         "daemon cache",
@@ -663,11 +780,21 @@ fn summary_line(
     tables: u64,
     steps: u64,
 ) -> String {
+    // The remote tail is always rendered — `0 fetched` on peerless runs —
+    // so scripts can grep one stable shape everywhere (local, daemon,
+    // and search summaries alike).
     format!(
         "{label}: {} requests = {} executed + {} memory hits + {} disk hits; {store}; \
          memo: {replayed} replay hits, {recorded} recorded, {live} live, \
-         {tables} tables ({steps} steps)",
-        stats.requests, stats.executed, stats.hits, stats.disk_hits,
+         {tables} tables ({steps} steps); \
+         remote: {} fetched, {} bytes, {} round trip(s)",
+        stats.requests,
+        stats.executed,
+        stats.hits,
+        stats.disk_hits,
+        stats.remote_hits,
+        stats.remote_bytes,
+        stats.remote_round_trips,
     )
 }
 

@@ -20,7 +20,7 @@ use std::path::Path;
 
 use confluence_serve::{BatchHost, BatchStats, ErrorCode, Rejection, StoreLine};
 use confluence_serve::{Client, ClientError};
-use confluence_store::{Decode, Encode};
+use confluence_store::{Decode, Encode, Tier};
 use confluence_trace::MemoStats;
 
 use crate::codec::{output_matches, workloads_fingerprint, SCHEMA_VERSION};
@@ -125,6 +125,23 @@ impl BatchHost for EngineHost {
         Ok(output.to_bytes())
     }
 
+    fn prepare_batch(&self, jobs: &[Vec<u8>]) {
+        // The batched remote pre-pass: decode what decodes (undecodable
+        // payloads earn their typed rejection in run_job) and fetch
+        // every local miss from the peers in one round trip. Called
+        // after `snapshot`, so the promotions land in this batch's
+        // remote-counter deltas.
+        let decoded: Vec<Job> = jobs
+            .iter()
+            .filter_map(|payload| Job::from_bytes(payload).ok())
+            .collect();
+        self.engine.prefetch_remote(&decoded);
+    }
+
+    fn fetch_batch(&self, tier: Tier, ttl: u32, keys: &[Vec<u8>]) -> Vec<Option<Vec<u8>>> {
+        self.engine.fetch_remote_raw(tier, ttl, keys)
+    }
+
     fn snapshot(&self) -> EngineSnapshot {
         EngineSnapshot {
             stats: self.engine.stats(),
@@ -174,6 +191,11 @@ impl BatchHost for EngineHost {
                     artifact_bytes: usage.artifact_bytes,
                 }
             }),
+            remote_hits: stats.remote_hits.saturating_sub(before.stats.remote_hits),
+            remote_round_trips: stats
+                .remote_round_trips
+                .saturating_sub(before.stats.remote_round_trips),
+            remote_bytes: stats.remote_bytes.saturating_sub(before.stats.remote_bytes),
         }
     }
 }

@@ -35,13 +35,15 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use confluence_store::ResultStore;
+use confluence_serve::FETCH_HOP_LIMIT;
+use confluence_store::{Encode, ResultStore, Tier};
 use confluence_trace::{ExecMode, MemoStats, MemoTable, Program, Workload};
 
 use crate::cmp::{simulate_cmp_with_shards_mode, TimingResult};
-use crate::codec::{output_matches, ArtifactKey, StoreKey};
+use crate::codec::{output_matches, workloads_fingerprint, ArtifactKey, StoreKey};
 use crate::coverage::{branch_density_mode, run_coverage_with_mode, CoverageResult};
 use crate::job::{CoverageJob, DensityJob, Job, JobOutput, TimingJob};
+use crate::peers::PeerSet;
 
 /// Environment variable that disables the persistent warm-artifact tier
 /// when set to a non-empty value other than `0` (the
@@ -68,6 +70,16 @@ pub struct EngineStats {
     /// Unique jobs served from the persistent result store instead of
     /// being simulated.
     pub disk_hits: u64,
+    /// Entries (results and artifacts) fetched from remote peers and
+    /// promoted into the local store. A promoted result is then served
+    /// as a `disk_hits` entry — `remote_hits` counts where the bytes
+    /// came from, not an extra serving tier.
+    pub remote_hits: u64,
+    /// Completed batched fetch exchanges with peers (at most one per
+    /// consulted peer per tier per batch).
+    pub remote_round_trips: u64,
+    /// Raw entry bytes received from peers (verified or not).
+    pub remote_bytes: u64,
 }
 
 /// What a filled cache slot holds: the job's output, or a record that the
@@ -122,10 +134,18 @@ pub struct SimEngine {
     /// import guarantee: a second batch over the same workloads must
     /// leave this unchanged.
     warm_imports: AtomicU64,
+    /// The remote warm tier: peer daemons consulted (batched, once per
+    /// batch) for keys missing from both memory and local disk. Fetched
+    /// entries are re-verified and promoted into the local store, so
+    /// the per-job lookup chain below never talks to the network.
+    peers: Option<PeerSet>,
     requests: AtomicU64,
     executed: AtomicU64,
     hits: AtomicU64,
     disk_hits: AtomicU64,
+    remote_hits: AtomicU64,
+    remote_round_trips: AtomicU64,
+    remote_bytes: AtomicU64,
     /// Jobs currently being served (executing or loading from disk),
     /// across the worker pool and direct callers. The pool's width minus
     /// this count is the engine's idle capacity — the workers a CMP
@@ -153,10 +173,14 @@ impl SimEngine {
             warm_artifacts: warm_artifacts_from_env(),
             warm_loaded: Mutex::new(HashSet::new()),
             warm_imports: AtomicU64::new(0),
+            peers: None,
             requests: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
+            remote_hits: AtomicU64::new(0),
+            remote_round_trips: AtomicU64::new(0),
+            remote_bytes: AtomicU64::new(0),
             in_flight: AtomicUsize::new(0),
             lent: AtomicUsize::new(0),
         }
@@ -193,6 +217,21 @@ impl SimEngine {
     /// The attached persistent store, if any.
     pub fn store(&self) -> Option<&ResultStore> {
         self.store.as_ref()
+    }
+
+    /// Attaches a remote warm tier: peer daemons consulted (in one
+    /// batched round trip per batch) for keys missing from memory and
+    /// local disk. Requires an attached store — fetched entries are
+    /// promoted through the store's verified atomic write path, never
+    /// trusted directly.
+    pub fn with_peers(mut self, peers: PeerSet) -> Self {
+        self.peers = Some(peers);
+        self
+    }
+
+    /// The attached peer set, if any.
+    pub fn peers(&self) -> Option<&PeerSet> {
+        self.peers.as_ref()
     }
 
     /// Overrides whether the store's warm-artifact tier is used (the
@@ -240,6 +279,9 @@ impl SimEngine {
             executed: self.executed.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            remote_hits: self.remote_hits.load(Ordering::Relaxed),
+            remote_round_trips: self.remote_round_trips.load(Ordering::Relaxed),
+            remote_bytes: self.remote_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -248,6 +290,10 @@ impl SimEngine {
     /// once every job's result is cached, so subsequent per-job accessors
     /// are pure lookups.
     pub fn run(&self, jobs: &[Job]) {
+        // Remote warm tier first, while the batch is still a batch: one
+        // fetch round trip covers every local miss, after which the
+        // per-job chain below finds the promoted entries on local disk.
+        self.prefetch_remote(jobs);
         let mut deduped: Vec<&Job> = Vec::with_capacity(jobs.len());
         let mut seen = std::collections::HashSet::with_capacity(jobs.len());
         for job in jobs {
@@ -407,6 +453,138 @@ impl SimEngine {
                 Err(msg) => panic!("waited-on {msg}"),
             }
         }
+    }
+
+    /// The remote pre-pass of a batch: collects every unique job with
+    /// no in-memory result and no local disk entry, fetches the lot
+    /// from the peers in **one batched round trip** (per consulted
+    /// peer), re-verifies and promotes each returned entry into the
+    /// local store, and — only for workloads that still have to execute
+    /// — fetches their warm artifacts the same way. A no-op without
+    /// peers or without a store; any peer failure degrades to local
+    /// simulation. Jobs whose workload this engine does not serve are
+    /// skipped here and left to the per-job path's own error handling.
+    pub fn prefetch_remote(&self, jobs: &[Job]) {
+        let (Some(peers), Some(store)) = (&self.peers, &self.store) else {
+            return;
+        };
+        let fingerprint = workloads_fingerprint(&self.workloads);
+        // Unique jobs missing from both local tiers. Keys merely in
+        // flight are skipped too: whoever claimed them is already
+        // producing the result.
+        let mut missing: Vec<(&Job, Vec<u8>)> = Vec::new();
+        {
+            let mut seen = HashSet::with_capacity(jobs.len());
+            let cache = self.cache.lock().expect("engine cache poisoned");
+            for job in jobs {
+                if !seen.insert(job) || cache.contains_key(job) {
+                    continue;
+                }
+                if !self.workloads.iter().any(|(w, _)| *w == job.workload()) {
+                    continue;
+                }
+                let key = self.store_key(job).to_bytes();
+                if store.load_raw(&key, Tier::Result).is_none() {
+                    missing.push((job, key));
+                }
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        let keys: Vec<Vec<u8>> = missing.iter().map(|(_, k)| k.clone()).collect();
+        let fetched = peers.fetch(fingerprint, Tier::Result, FETCH_HOP_LIMIT, &keys);
+        self.remote_round_trips
+            .fetch_add(fetched.round_trips, Ordering::Relaxed);
+        self.remote_bytes
+            .fetch_add(fetched.bytes, Ordering::Relaxed);
+        let mut unresolved: Vec<&Job> = Vec::new();
+        for ((job, key), entry) in missing.iter().zip(fetched.entries) {
+            match entry {
+                // adopt_raw re-verifies every byte; a lying peer's entry
+                // falls through to `unresolved` and re-simulates.
+                Some(data) if store.adopt_raw(key, &data, Tier::Result) => {
+                    self.remote_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => unresolved.push(job),
+            }
+        }
+        // Warm artifacts only help jobs that will actually execute, so a
+        // fully-served batch stops at exactly one round trip.
+        if !self.warm_artifacts || unresolved.is_empty() {
+            return;
+        }
+        let mut wl_seen = HashSet::new();
+        let mut art_keys: Vec<Vec<u8>> = Vec::new();
+        {
+            let loaded = self.warm_loaded.lock().expect("warm-loaded poisoned");
+            for job in unresolved {
+                let workload = job.workload();
+                if !wl_seen.insert(workload) || loaded.contains(&workload) {
+                    continue;
+                }
+                let key = ArtifactKey {
+                    spec: self.program(workload).spec(),
+                }
+                .to_bytes();
+                if store.load_raw(&key, Tier::Artifact).is_none() {
+                    art_keys.push(key);
+                }
+            }
+        }
+        if art_keys.is_empty() {
+            return;
+        }
+        let fetched = peers.fetch(fingerprint, Tier::Artifact, FETCH_HOP_LIMIT, &art_keys);
+        self.remote_round_trips
+            .fetch_add(fetched.round_trips, Ordering::Relaxed);
+        self.remote_bytes
+            .fetch_add(fetched.bytes, Ordering::Relaxed);
+        for (key, entry) in art_keys.iter().zip(fetched.entries) {
+            if let Some(data) = entry {
+                if store.adopt_raw(key, &data, Tier::Artifact) {
+                    self.remote_hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// The serving side of the remote warm tier: answers a peer's (or a
+    /// daemonless client's) batched fetch with raw verified entries
+    /// from the local store. Keys the local store misses are forwarded
+    /// to this engine's own peers while `ttl > 0` (with `ttl - 1`, so
+    /// mutually-peered daemons terminate instead of recursing); entries
+    /// a further peer supplies are promoted locally before being served
+    /// onward. Without a store everything is a miss.
+    pub fn fetch_remote_raw(&self, tier: Tier, ttl: u32, keys: &[Vec<u8>]) -> Vec<Option<Vec<u8>>> {
+        let Some(store) = &self.store else {
+            return vec![None; keys.len()];
+        };
+        let mut entries: Vec<Option<Vec<u8>>> =
+            keys.iter().map(|k| store.load_raw(k, tier)).collect();
+        let missing: Vec<usize> = (0..keys.len()).filter(|&i| entries[i].is_none()).collect();
+        if missing.is_empty() || ttl == 0 {
+            return entries;
+        }
+        let Some(peers) = &self.peers else {
+            return entries;
+        };
+        let subset: Vec<Vec<u8>> = missing.iter().map(|&i| keys[i].clone()).collect();
+        let fingerprint = workloads_fingerprint(&self.workloads);
+        let fetched = peers.fetch(fingerprint, tier, ttl - 1, &subset);
+        self.remote_round_trips
+            .fetch_add(fetched.round_trips, Ordering::Relaxed);
+        self.remote_bytes
+            .fetch_add(fetched.bytes, Ordering::Relaxed);
+        for (&slot, entry) in missing.iter().zip(fetched.entries) {
+            if let Some(data) = entry {
+                if store.adopt_raw(&keys[slot], &data, tier) {
+                    self.remote_hits.fetch_add(1, Ordering::Relaxed);
+                    entries[slot] = Some(data);
+                }
+            }
+        }
+        entries
     }
 
     /// The persistent key for `job`: the job plus the spec its program

@@ -12,6 +12,7 @@ mod designs;
 mod engine;
 pub mod experiments;
 mod job;
+pub mod peers;
 pub mod report;
 pub mod sweeps;
 mod timing;
@@ -29,5 +30,6 @@ pub use coverage::{
 pub use designs::{airbtb_ablation, DesignPoint, PrefetchScheme};
 pub use engine::{EngineStats, SimEngine};
 pub use job::{BtbSpec, CoverageJob, DensityJob, Job, JobOutput, TimingJob};
+pub use peers::{PeerSet, DEFAULT_PEER_TIMEOUT};
 pub use sweeps::{SweepAxis, SweepSpec};
 pub use timing::{CoreFrontend, CoreStats};

@@ -20,6 +20,7 @@ fn run(exe: &str, args: &[&str], env: &[(&str, &str)]) -> Output {
         "CONFLUENCE_STORE_CAP",
         "CONFLUENCE_CONNECT",
         "CONFLUENCE_MEMO_CAP",
+        "CONFLUENCE_PEER",
     ] {
         cmd.env_remove(var);
     }
@@ -95,6 +96,99 @@ fn well_formed_invocations_still_run() {
     let out = run(env!("CARGO_BIN_EXE_area_table"), &["--markdown"], &[]);
     assert_eq!(out.status.code(), Some(0));
     assert!(String::from_utf8_lossy(&out.stdout).contains("| structure |"));
+}
+
+#[test]
+fn peer_flags_parse_strictly_in_every_binary() {
+    // Typos stay typos now that --peer is a known flag elsewhere.
+    assert_rejects(
+        env!("CARGO_BIN_EXE_fig1"),
+        &["--quick", "--perr", "/tmp/x"],
+        "--perr",
+    );
+    assert_rejects(
+        env!("CARGO_BIN_EXE_timing_figs"),
+        &["--quick", "--peers", "/tmp/x"],
+        "--peers",
+    );
+    assert_rejects(
+        env!("CARGO_BIN_EXE_confluence-serve"),
+        &["--socket", "/tmp/unused.sock", "--peer-timeout", "10"],
+        "--peer-timeout",
+    );
+
+    // A --peer with no value is its own exit-2 case with a precise
+    // message, from every binary that accepts the flag.
+    for (exe, args) in [
+        (
+            env!("CARGO_BIN_EXE_fig1"),
+            &["--quick", "--peer"] as &[&str],
+        ),
+        (
+            env!("CARGO_BIN_EXE_all_experiments"),
+            &["--quick", "--peer"],
+        ),
+        (env!("CARGO_BIN_EXE_sweeps"), &["--quick", "--peer"]),
+        (env!("CARGO_BIN_EXE_timing_figs"), &["--quick", "--peer"]),
+        (
+            env!("CARGO_BIN_EXE_confluence-serve"),
+            &["--socket", "/tmp/unused.sock", "--quick", "--peer"],
+        ),
+    ] {
+        let out = run(exe, args, &[]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(2), "{exe}: stderr: {stderr}");
+        assert!(
+            stderr.contains("--peer requires a socket path"),
+            "{exe} must name the missing value: {stderr}"
+        );
+    }
+
+    // Malformed --peer-timeout-ms: exit 2, named flag and value.
+    let out = run(
+        env!("CARGO_BIN_EXE_fig1"),
+        &[
+            "--quick",
+            "--peer",
+            "/tmp/x.sock",
+            "--peer-timeout-ms",
+            "soon",
+        ],
+        &[],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("--peer-timeout-ms") && stderr.contains("soon"),
+        "stderr must name the flag and value: {stderr}"
+    );
+
+    // --peer without a store has nowhere to promote fetched entries:
+    // exit 2 pointing at --store-dir, before any workload generates.
+    let out = run(
+        env!("CARGO_BIN_EXE_fig1"),
+        &["--quick", "--no-store", "--peer", "/tmp/x.sock"],
+        &[],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("--peer requires a persistent store"),
+        "stderr must explain the store requirement: {stderr}"
+    );
+
+    // The CONFLUENCE_PEER environment fallback hits the same gate.
+    let out = run(
+        env!("CARGO_BIN_EXE_fig1"),
+        &["--quick", "--no-store"],
+        &[("CONFLUENCE_PEER", "/tmp/a.sock,/tmp/b.sock")],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("--peer requires a persistent store"),
+        "env-supplied peers must hit the same gate: {stderr}"
+    );
 }
 
 #[test]

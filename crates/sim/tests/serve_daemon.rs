@@ -7,12 +7,13 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 use confluence_serve::protocol::{self, Frame};
 use confluence_serve::{Client, ClientError, ErrorCode, Server, ServerHandle};
 use confluence_sim::daemon::{submit_jobs, EngineHost};
 use confluence_sim::{
-    BtbSpec, CoverageJob, CoverageOptions, DensityJob, Job, SimEngine, SCHEMA_VERSION,
+    BtbSpec, CoverageJob, CoverageOptions, DensityJob, Job, PeerSet, SimEngine, SCHEMA_VERSION,
 };
 use confluence_store::{Encode, ResultStore};
 use confluence_trace::{Program, Workload, WorkloadSpec};
@@ -318,5 +319,255 @@ fn malformed_traffic_gets_typed_errors_and_never_poisons() {
     assert_eq!(outputs, expected);
 
     handle.stop().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A result-store directory pre-warmed with every `tiny_jobs` result
+/// (and warm artifacts) by a plain in-process run.
+fn warmed_store(dir: &Path) -> PathBuf {
+    let store_dir = dir.join("store-warm");
+    let engine = tiny_engine()
+        .with_store(ResultStore::open(&store_dir, SCHEMA_VERSION).expect("store opens"));
+    engine.run(&tiny_jobs());
+    engine.persist_warm_artifacts();
+    store_dir
+}
+
+/// The acceptance shape of the remote warm tier: daemon A holds a warm
+/// store, daemon B starts with an empty one and `--peer A`. B's first
+/// batch simulates nothing — every key is fetched from A in **one**
+/// round trip, promoted into B's store, and served as a local disk hit
+/// — and the client's bytes are identical to an in-process run.
+#[test]
+fn peered_daemon_serves_first_batch_without_simulating() {
+    let dir = scratch("remote-tier");
+    let sock_a = dir.join("a.sock");
+    let sock_b = dir.join("b.sock");
+    let jobs = tiny_jobs();
+
+    let engine_a = tiny_engine().with_store(
+        ResultStore::open(warmed_store(&dir), SCHEMA_VERSION).expect("warm store reopens"),
+    );
+    let (_host_a, handle_a) = spawn_daemon(engine_a, &sock_a, None);
+
+    let store_b = dir.join("store-b");
+    let engine_b = tiny_engine()
+        .with_store(ResultStore::open(&store_b, SCHEMA_VERSION).expect("empty store opens"))
+        .with_peers(PeerSet::new(vec![sock_a.clone()], Duration::from_secs(5)));
+    let (_host_b, handle_b) = spawn_daemon(engine_b, &sock_b, None);
+
+    let local = tiny_engine();
+    let stats = submit_jobs(&sock_b, &local, &jobs).expect("batch against B succeeds");
+
+    let unique = jobs.len() as u64;
+    assert_eq!(stats.executed, 0, "B must simulate nothing");
+    assert_eq!(stats.remote_hits, unique, "every key fetched from A");
+    assert_eq!(
+        stats.remote_round_trips, 1,
+        "a fully-served batch costs exactly one round trip"
+    );
+    assert!(stats.remote_bytes > 0, "fetched entries have bytes");
+    assert_eq!(
+        stats.disk_hits, unique,
+        "promoted entries serve as local disk hits"
+    );
+
+    // Byte-identical to an in-process run.
+    let expected = reference_outputs(&jobs);
+    let outputs: Vec<Vec<u8>> = jobs.iter().map(|j| local.output(j).to_bytes()).collect();
+    assert_eq!(outputs, expected, "remote-served results must match");
+
+    // The promotion is durable: kill A, and a cold engine over B's
+    // store still serves everything from disk.
+    handle_a.stop().expect("A shuts down");
+    handle_b.stop().expect("B shuts down");
+    let replay = tiny_engine()
+        .with_store(ResultStore::open(&store_b, SCHEMA_VERSION).expect("B's store reopens"));
+    replay.run(&jobs);
+    let replay_stats = replay.stats();
+    assert_eq!(replay_stats.executed, 0, "B's store was really populated");
+    assert_eq!(replay_stats.disk_hits, unique);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A dead peer ahead of a live one degrades to a skip, not a failure:
+/// the batch still completes remotely in one round trip.
+#[test]
+fn dead_first_peer_falls_through_to_the_live_one() {
+    let dir = scratch("remote-dead-first");
+    let sock_a = dir.join("a.sock");
+    let jobs = tiny_jobs();
+
+    let engine_a = tiny_engine().with_store(
+        ResultStore::open(warmed_store(&dir), SCHEMA_VERSION).expect("warm store reopens"),
+    );
+    let (_host_a, handle_a) = spawn_daemon(engine_a, &sock_a, None);
+
+    let engine_b = tiny_engine()
+        .with_store(ResultStore::open(dir.join("store-b"), SCHEMA_VERSION).expect("store opens"))
+        .with_peers(PeerSet::new(
+            vec![dir.join("nobody-home.sock"), sock_a.clone()],
+            Duration::from_millis(500),
+        ));
+    engine_b.run(&jobs);
+
+    let stats = engine_b.stats();
+    assert_eq!(stats.executed, 0, "the live peer still serves everything");
+    assert_eq!(stats.remote_hits, jobs.len() as u64);
+    assert_eq!(
+        stats.remote_round_trips, 1,
+        "a dead peer completes no round trip"
+    );
+
+    handle_a.stop().expect("A shuts down");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With every peer dead, the remote tier degrades all the way to local
+/// simulation — the run completes, it is just cold.
+#[test]
+fn all_peers_dead_degrades_to_local_simulation() {
+    let dir = scratch("remote-all-dead");
+    let jobs = tiny_jobs();
+    let engine = tiny_engine()
+        .with_store(ResultStore::open(dir.join("store"), SCHEMA_VERSION).expect("store opens"))
+        .with_peers(PeerSet::new(
+            vec![dir.join("gone.sock")],
+            Duration::from_millis(200),
+        ));
+    engine.run(&jobs);
+    let stats = engine.stats();
+    assert_eq!(stats.executed, jobs.len() as u64, "everything simulates");
+    assert_eq!(stats.remote_hits, 0);
+    assert_eq!(stats.remote_round_trips, 0);
+
+    let expected = reference_outputs(&jobs);
+    let outputs: Vec<Vec<u8>> = jobs.iter().map(|j| engine.output(j).to_bytes()).collect();
+    assert_eq!(outputs, expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Mutually-peered daemons, both cold: the fetch forwards A → B → A …
+/// until the hop limit runs out, terminates with a miss (no livelock,
+/// no stack of daemons waiting on each other forever), and the batch
+/// completes by simulating locally.
+#[test]
+fn mutually_peered_daemons_terminate_with_a_miss() {
+    let dir = scratch("remote-loop");
+    let sock_a = dir.join("a.sock");
+    let sock_b = dir.join("b.sock");
+    let jobs = tiny_jobs();
+
+    let peers_to = |sock: &Path| PeerSet::new(vec![sock.to_path_buf()], Duration::from_secs(5));
+    let engine_a = tiny_engine()
+        .with_store(ResultStore::open(dir.join("store-a"), SCHEMA_VERSION).expect("store opens"))
+        .with_peers(peers_to(&sock_b));
+    let engine_b = tiny_engine()
+        .with_store(ResultStore::open(dir.join("store-b"), SCHEMA_VERSION).expect("store opens"))
+        .with_peers(peers_to(&sock_a));
+    let (_host_a, handle_a) = spawn_daemon(engine_a, &sock_a, None);
+    let (_host_b, handle_b) = spawn_daemon(engine_b, &sock_b, None);
+
+    let local = tiny_engine();
+    let stats = submit_jobs(&sock_a, &local, &jobs).expect("looped fetch terminates");
+    assert_eq!(
+        stats.executed,
+        jobs.len() as u64,
+        "nobody holds the entries, so A simulates them"
+    );
+    assert_eq!(stats.remote_hits, 0, "a miss everywhere stays a miss");
+
+    let expected = reference_outputs(&jobs);
+    let outputs: Vec<Vec<u8>> = jobs.iter().map(|j| local.output(j).to_bytes()).collect();
+    assert_eq!(outputs, expected);
+
+    handle_a.stop().expect("A shuts down");
+    handle_b.stop().expect("B shuts down");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A lying peer — right protocol, garbage entry bytes — demotes to a
+/// miss: `adopt_raw` re-verifies every byte and rejects, the job
+/// re-simulates locally, and the write-back repairs the local slot. The
+/// store is never poisoned.
+#[test]
+fn lying_peer_demotes_to_miss_and_write_back_repairs() {
+    let dir = scratch("remote-liar");
+    let sock = dir.join("liar.sock");
+    let jobs = tiny_jobs();
+
+    // A hand-rolled peer that answers every fetch with a well-formed
+    // FetchHit whose entry bytes are garbage (wrong checksum, wrong
+    // everything) — the protocol-level shape of a corrupt or malicious
+    // fleet member.
+    let listener = std::os::unix::net::UnixListener::bind(&sock).expect("bind liar socket");
+    std::thread::spawn(move || {
+        while let Ok((mut stream, _)) = listener.accept() {
+            let Ok(Frame::Hello { schema, .. }) = protocol::recv(&mut stream) else {
+                continue;
+            };
+            let _ = protocol::send(
+                &mut stream,
+                &Frame::HelloAck {
+                    proto: protocol::PROTO_VERSION,
+                    schema,
+                },
+            );
+            let keys = match protocol::recv(&mut stream) {
+                Ok(Frame::FetchResults { keys, .. }) | Ok(Frame::FetchArtifacts { keys, .. }) => {
+                    keys
+                }
+                _ => continue,
+            };
+            for idx in 0..keys.len() as u32 {
+                let _ = protocol::send(
+                    &mut stream,
+                    &Frame::FetchHit {
+                        idx,
+                        entry: vec![0xAB; 64],
+                    },
+                );
+            }
+            let _ = protocol::send(
+                &mut stream,
+                &Frame::FetchDone {
+                    hits: keys.len() as u32,
+                    misses: 0,
+                },
+            );
+        }
+    });
+
+    let store_dir = dir.join("store");
+    let engine = tiny_engine()
+        .with_store(ResultStore::open(&store_dir, SCHEMA_VERSION).expect("store opens"))
+        .with_peers(PeerSet::new(vec![sock.clone()], Duration::from_secs(5)));
+    engine.run(&jobs);
+
+    let stats = engine.stats();
+    assert_eq!(stats.remote_hits, 0, "garbage entries must never adopt");
+    assert_eq!(
+        stats.executed,
+        jobs.len() as u64,
+        "every lied-about key re-simulates"
+    );
+    assert!(
+        stats.remote_bytes > 0,
+        "the lie was received, then rejected"
+    );
+
+    // Results are correct despite the hostile peer...
+    let expected = reference_outputs(&jobs);
+    let outputs: Vec<Vec<u8>> = jobs.iter().map(|j| engine.output(j).to_bytes()).collect();
+    assert_eq!(outputs, expected);
+
+    // ...and the write-back repaired the local slots with verified
+    // bytes: a cold engine over the same store is pure disk hits.
+    drop(engine);
+    let replay = tiny_engine()
+        .with_store(ResultStore::open(&store_dir, SCHEMA_VERSION).expect("store reopens"));
+    replay.run(&jobs);
+    assert_eq!(replay.stats().executed, 0, "store holds verified entries");
+    assert_eq!(replay.stats().disk_hits, jobs.len() as u64);
     let _ = std::fs::remove_dir_all(&dir);
 }

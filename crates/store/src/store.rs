@@ -43,6 +43,27 @@ const RESULT_EXT: &str = "bin";
 /// the two tiers are accounted for distinctly while GC sweeps both.
 const ARTIFACT_EXT: &str = "art";
 
+/// Which of the store's two on-disk tiers an operation addresses:
+/// `.bin` job results or `.art` warm-execution artifacts. Raw-bytes
+/// operations ([`ResultStore::load_raw`], [`ResultStore::adopt_raw`])
+/// name the tier explicitly; the typed paths have one method per tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// The `.bin` result tier.
+    Result,
+    /// The `.art` warm-artifact tier.
+    Artifact,
+}
+
+impl Tier {
+    fn ext(self) -> &'static str {
+        match self {
+            Tier::Result => RESULT_EXT,
+            Tier::Artifact => ARTIFACT_EXT,
+        }
+    }
+}
+
 /// A persistent, content-addressed map from encoded keys to encoded
 /// values, safe for concurrent use from multiple threads and processes.
 #[derive(Debug)]
@@ -147,8 +168,10 @@ impl ResultStore {
         wire::put_length_prefixed(&mut body, &value.to_bytes());
         let checksum = wire::fnv1a(&body);
         wire::put_u64_le(&mut body, checksum);
+        self.write_atomic(&self.path_for(&key_bytes, ext), &body)
+    }
 
-        let final_path = self.path_for(&key_bytes, ext);
+    fn write_atomic(&self, final_path: &Path, body: &[u8]) -> io::Result<()> {
         let tmp_path = final_path.with_extension(format!(
             "tmp.{}.{}",
             std::process::id(),
@@ -156,11 +179,40 @@ impl ResultStore {
         ));
         // On any failure, sweep the partial tmp file so aborted saves
         // (full disk, revoked permissions) don't accumulate strays.
-        fs::write(&tmp_path, &body)
-            .and_then(|()| fs::rename(&tmp_path, &final_path))
+        fs::write(&tmp_path, body)
+            .and_then(|()| fs::rename(&tmp_path, final_path))
             .inspect_err(|_| {
                 let _ = fs::remove_file(&tmp_path);
             })
+    }
+
+    /// Looks up `key_bytes` in `tier` and returns the *entire verified
+    /// entry file* — container framing included — for transport to
+    /// another store. The buffer passes the full read verification
+    /// (checksum, header, schema, exact key match) before it is handed
+    /// out, so a serving peer never ships a corrupt entry; any defect is
+    /// a miss. The receiving side re-verifies via
+    /// [`ResultStore::adopt_raw`].
+    pub fn load_raw(&self, key_bytes: &[u8], tier: Tier) -> Option<Vec<u8>> {
+        let data = fs::read(self.path_for(key_bytes, tier.ext())).ok()?;
+        verify_entry(&data, self.schema, key_bytes)?;
+        Some(data)
+    }
+
+    /// Installs a whole entry buffer fetched from a remote store into
+    /// `tier`, re-verifying every byte first: checksum, magic, container
+    /// version, schema, an exact match of the embedded key against
+    /// `key_bytes`, and full consumption. Returns `false` — and writes
+    /// nothing — if the buffer fails verification (a lying or corrupt
+    /// peer demotes to a miss, never poisons) or if the atomic write
+    /// fails. On `true` the entry is durably in place and a subsequent
+    /// typed load will see it.
+    pub fn adopt_raw(&self, key_bytes: &[u8], data: &[u8], tier: Tier) -> bool {
+        if verify_entry(data, self.schema, key_bytes).is_none() {
+            return false;
+        }
+        self.write_atomic(&self.path_for(key_bytes, tier.ext()), data)
+            .is_ok()
     }
 
     /// Per-tier entry counts and bytes on disk for this schema version,
@@ -277,8 +329,14 @@ pub struct StoreUsage {
     pub artifact_bytes: u64,
 }
 
-/// Verifies and decodes one entry buffer; `None` on any defect.
-fn parse_entry<V: Decode>(data: &[u8], schema: u32, key_bytes: &[u8]) -> Option<V> {
+/// Verifies one entry buffer's container framing — trailing checksum,
+/// magic, container version, `schema`, an exact match of the embedded
+/// key against `key_bytes`, and full consumption — returning the
+/// embedded value bytes. `None` on any defect. This is the whole of the
+/// store's read-side trust decision; typed loads decode the returned
+/// slice, raw transport ([`ResultStore::load_raw`] /
+/// [`ResultStore::adopt_raw`]) ships the verified buffer as-is.
+pub fn verify_entry<'a>(data: &'a [u8], schema: u32, key_bytes: &[u8]) -> Option<&'a [u8]> {
     if data.len() < MIN_ENTRY_LEN {
         return None;
     }
@@ -304,7 +362,12 @@ fn parse_entry<V: Decode>(data: &[u8], schema: u32, key_bytes: &[u8]) -> Option<
     if !r.is_empty() {
         return None;
     }
-    V::from_bytes(value_bytes).ok()
+    Some(value_bytes)
+}
+
+/// Verifies and decodes one entry buffer; `None` on any defect.
+fn parse_entry<V: Decode>(data: &[u8], schema: u32, key_bytes: &[u8]) -> Option<V> {
+    V::from_bytes(verify_entry(data, schema, key_bytes)?).ok()
 }
 
 #[cfg(test)]
@@ -571,6 +634,86 @@ mod tests {
         assert_eq!(gc.evicted_entries, 4);
         assert_eq!(gc.evicted_bytes, before);
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn load_raw_ships_the_verified_entry_and_adopt_raw_installs_it() {
+        let src_dir = TestDir::new();
+        let dst_dir = TestDir::new();
+        let src = ResultStore::open(&src_dir.0, 1).unwrap();
+        let dst = ResultStore::open(&dst_dir.0, 1).unwrap();
+        src.save(&7u64, &vec![1u64, 2, 3]).unwrap();
+        src.save_artifact(&7u64, &vec![9u64]).unwrap();
+
+        let key = 7u64.to_bytes();
+        let raw = src.load_raw(&key, Tier::Result).unwrap();
+        assert_eq!(raw, fs::read(src.entry_path(&7u64)).unwrap());
+        assert!(dst.adopt_raw(&key, &raw, Tier::Result));
+        assert_eq!(dst.load::<Vec<u64>>(&7u64), Some(vec![1, 2, 3]));
+
+        let art = src.load_raw(&key, Tier::Artifact).unwrap();
+        assert!(dst.adopt_raw(&key, &art, Tier::Artifact));
+        assert_eq!(dst.load_artifact::<Vec<u64>>(&7u64), Some(vec![9]));
+        assert_eq!(src.load_raw(&8u64.to_bytes(), Tier::Result), None);
+    }
+
+    #[test]
+    fn load_raw_never_ships_a_corrupt_entry() {
+        let dir = TestDir::new();
+        let store = ResultStore::open(&dir.0, 1).unwrap();
+        store.save(&3u64, &0xABCDu64).unwrap();
+        let key = 3u64.to_bytes();
+        let path = store.entry_path(&3u64);
+        let clean = fs::read(&path).unwrap();
+        let mut garbled = clean.clone();
+        garbled[clean.len() / 2] ^= 0x10;
+        fs::write(&path, &garbled).unwrap();
+        assert_eq!(store.load_raw(&key, Tier::Result), None);
+        fs::write(&path, &clean[..clean.len() - 3]).unwrap();
+        assert_eq!(store.load_raw(&key, Tier::Result), None);
+    }
+
+    #[test]
+    fn adopt_raw_rejects_every_defect_without_writing() {
+        let dir = TestDir::new();
+        let store = ResultStore::open(&dir.0, 1).unwrap();
+        let donor = TestDir::new();
+        let src = ResultStore::open(&donor.0, 1).unwrap();
+        src.save(&5u64, &0xBEEFu64).unwrap();
+        let key = 5u64.to_bytes();
+        let clean = src.load_raw(&key, Tier::Result).unwrap();
+
+        // Every single-bit flip of a fetched entry must be refused.
+        for byte in 0..clean.len() {
+            let mut garbled = clean.clone();
+            garbled[byte] ^= 0x01;
+            assert!(
+                !store.adopt_raw(&key, &garbled, Tier::Result),
+                "flipped byte {byte} must not be adopted"
+            );
+        }
+        // Truncations, garbage, and a foreign key likewise.
+        assert!(!store.adopt_raw(&key, &clean[..clean.len() / 2], Tier::Result));
+        assert!(!store.adopt_raw(&key, b"not an entry", Tier::Result));
+        assert!(!store.adopt_raw(&6u64.to_bytes(), &clean, Tier::Result));
+        assert_eq!(store.usage(), StoreUsage::default(), "nothing written");
+        // The clean buffer under the right key is adopted.
+        assert!(store.adopt_raw(&key, &clean, Tier::Result));
+        assert_eq!(store.load::<u64>(&5u64), Some(0xBEEF));
+    }
+
+    #[test]
+    fn adopt_raw_rejects_cross_schema_entries() {
+        let dir = TestDir::new();
+        let v1 = ResultStore::open(&dir.0, 1).unwrap();
+        let v2 = ResultStore::open(&dir.0, 2).unwrap();
+        v1.save(&1u64, &10u64).unwrap();
+        let key = 1u64.to_bytes();
+        let raw = v1.load_raw(&key, Tier::Result).unwrap();
+        assert!(
+            !v2.adopt_raw(&key, &raw, Tier::Result),
+            "a v1 entry must not enter a v2 store"
+        );
     }
 
     #[test]
